@@ -1,0 +1,158 @@
+// Benchmarks: one testing.B benchmark per paper table and figure — each
+// iteration regenerates the artifact end to end (simulate → trace →
+// profile → analyze) and validates its paper-shape checks — plus
+// micro-benchmarks of the library's hot paths.
+//
+//	go test -bench=. -benchmem ./...
+package skip_test
+
+import (
+	"testing"
+
+	skip "github.com/skipsim/skip"
+)
+
+// benchArtifact regenerates one table/figure per iteration.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	e, err := skip.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Passed() {
+			b.Fatalf("%s failed its paper-shape checks", id)
+		}
+	}
+}
+
+// Paper tables.
+
+func BenchmarkTable1(b *testing.B) { benchArtifact(b, "table1") }
+func BenchmarkTable3(b *testing.B) { benchArtifact(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchArtifact(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchArtifact(b, "table5") }
+
+// Paper figures.
+
+func BenchmarkFig3(b *testing.B)  { benchArtifact(b, "fig3") }
+func BenchmarkFig5(b *testing.B)  { benchArtifact(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchArtifact(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchArtifact(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchArtifact(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchArtifact(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchArtifact(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchArtifact(b, "fig11") }
+
+// Extensions (future work §VI + ablations).
+
+func BenchmarkExt1AppliedFusion(b *testing.B)     { benchArtifact(b, "ext1-applied-fusion") }
+func BenchmarkExt2Decode(b *testing.B)            { benchArtifact(b, "ext2-decode") }
+func BenchmarkExt3AblationCPU(b *testing.B)       { benchArtifact(b, "ext3-ablation-cpu") }
+func BenchmarkExt4AblationLaunch(b *testing.B)    { benchArtifact(b, "ext4-ablation-launch") }
+func BenchmarkExt5AblationBandwidth(b *testing.B) { benchArtifact(b, "ext5-ablation-bandwidth") }
+func BenchmarkExt6Serving(b *testing.B)           { benchArtifact(b, "ext6-serving") }
+func BenchmarkExt7TCProjection(b *testing.B)      { benchArtifact(b, "ext7-tc-projection") }
+
+// Micro-benchmarks of the library's hot paths.
+
+// BenchmarkSimulateEagerPrefill measures one full eager simulation
+// (trace construction included) of the largest Table III model.
+func BenchmarkSimulateEagerPrefill(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := skip.Run(skip.GH200, "llama-3.2-1B", 8, 512, skip.ModeEager); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileTrace measures SKIP's dependency-graph construction and
+// metric computation over a ~1200-event trace.
+func BenchmarkProfileTrace(b *testing.B) {
+	res, err := skip.Run(skip.IntelH100, "gpt2", 1, 512, skip.ModeEager)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := skip.Profile(res.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChainMining measures the proximity-score sweep over a GPT-2
+// kernel sequence at all standard lengths.
+func BenchmarkChainMining(b *testing.B) {
+	res, err := skip.Run(skip.IntelH100, "gpt2", 1, 512, skip.ModeEager)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := skip.RecommendFusion(res.Trace, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNullKernelMicrobench measures the Table V microbenchmark loop.
+func BenchmarkNullKernelMicrobench(b *testing.B) {
+	p, err := skip.PlatformByName(skip.GH200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		skip.MeasureNullKernel(p, 100)
+	}
+}
+
+// BenchmarkGenerate measures prefill plus 16 decode steps.
+func BenchmarkGenerate(b *testing.B) {
+	p, err := skip.PlatformByName(skip.GH200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := skip.ModelByName("llama-3.2-1B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := skip.Request{Platform: p, Model: m, Batch: 1, Seq: 512, Mode: skip.ModeEager}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := skip.RunGenerate(req, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceJSONRoundTrip measures serialization of a full trace.
+func BenchmarkTraceJSONRoundTrip(b *testing.B) {
+	res, err := skip.Run(skip.IntelH100, "bert-base-uncased", 4, 512, skip.ModeEager)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink discard
+		if err := res.Trace.WriteJSON(&sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,79 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation from the simulator + SKIP pipeline, printing the same
+// rows/series the paper reports along with paper-shape checks.
+//
+// Usage:
+//
+//	paperbench               run every experiment
+//	paperbench -exp fig6     run one experiment
+//	paperbench -list         list experiment ids
+//	paperbench -o out.txt    also write the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	skip "github.com/skipsim/skip"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by id (e.g. table5, fig6)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	out := flag.String("o", "", "also write the report to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range skip.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var experiments []*skip.Experiment
+	if *exp != "" {
+		e, err := skip.ExperimentByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		experiments = []*skip.Experiment{e}
+	} else {
+		experiments = skip.Experiments()
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	failures := 0
+	for _, e := range experiments {
+		r, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		if err := r.Render(w); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		if !r.Passed() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: %d experiment(s) failed their paper-shape checks\n", failures)
+		os.Exit(1)
+	}
+	fmt.Fprintln(w, "paperbench: all experiments reproduce the paper's shapes")
+}

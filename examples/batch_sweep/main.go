@@ -1,0 +1,77 @@
+// Batch-sweep characterization: reproduce the paper's central analysis
+// (Figs. 6 and 10) for one model — TKLQT and TTFT across batch sizes on
+// all three evaluation platforms, with CPU→GPU-bound transition points
+// and platform crossover.
+//
+//	go run ./examples/batch_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	skip "github.com/skipsim/skip"
+)
+
+const (
+	model = "bert-base-uncased"
+	seq   = 512
+)
+
+var batches = []int64{1, 2, 4, 8, 16, 32, 64}
+
+func main() {
+	series := make(map[string][]skip.SeriesPoint)
+	platforms := []string{skip.AMDA100, skip.IntelH100, skip.GH200}
+
+	for _, plat := range platforms {
+		for _, bs := range batches {
+			res, err := skip.Run(plat, model, bs, seq, skip.ModeEager)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m, _, err := skip.Profile(res.Trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			series[plat] = append(series[plat], skip.SeriesPoint{
+				Batch: bs, TKLQT: m.TKLQT, TTFT: res.TTFT, Metrics: m,
+			})
+		}
+	}
+
+	fmt.Printf("%s, seq=%d, eager — TTFT by batch size\n\n", model, seq)
+	fmt.Printf("%-12s", "platform")
+	for _, bs := range batches {
+		fmt.Printf("%12s", fmt.Sprintf("BS=%d", bs))
+	}
+	fmt.Println()
+	for _, plat := range platforms {
+		fmt.Printf("%-12s", plat)
+		for _, pt := range series[plat] {
+			fmt.Printf("%12v", pt.TTFT)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nTKLQT transition points (Fig. 6 stars):")
+	for _, plat := range platforms {
+		tb, err := skip.TransitionBatch(series[plat])
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi, ok := skip.BalancedRegion(series[plat], 0.45)
+		balanced := "none sampled"
+		if ok {
+			balanced = fmt.Sprintf("BS %d-%d", lo, hi)
+		}
+		fmt.Printf("  %-12s CPU-bound until ≈ BS=%-3d balanced region: %s\n", plat, tb, balanced)
+	}
+
+	cp, err := skip.Crossover(series[skip.GH200], series[skip.IntelH100])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGH200 overtakes Intel+H100 at BS=%d — below that, the Grace CPU's\n", cp)
+	fmt.Println("single-thread performance dominates; above it, HBM3 bandwidth wins.")
+}

@@ -1,0 +1,64 @@
+// Fusion advisor: the paper's proximity-score workflow (§III-C, Figs.
+// 7-9). Run a CPU-bound workload, mine deterministic kernel chains from
+// its trace, and print the recommended fusion candidates with their
+// idealized launch-savings speedups.
+//
+//	go run ./examples/fusion_advisor
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	skip "github.com/skipsim/skip"
+)
+
+func main() {
+	// GPT-2 prefill at BS=1 on Intel+H100: squarely CPU-bound, the
+	// regime where launch-tax reduction pays (paper §V-C).
+	res, err := skip.Run(skip.IntelH100, "gpt2", 1, 512, skip.ModeEager)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, _, err := skip.Profile(res.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPT-2 prefill, Intel+H100, BS=1: %v TTFT, %d kernel launches, %v\n\n",
+		res.TTFT, res.KernelCount, skip.ClassifyRun(metrics))
+
+	rep, err := skip.RecommendFusion(res.Trace, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %8s %10s %8s %10s\n", "L", "unique", "instances", "fused", "speedup")
+	for _, row := range rep.Rows {
+		fmt.Printf("%-6d %8d %10d %8d %9.2fx\n",
+			row.Length, row.UniqueChains, row.TotalInstances, row.FusedChains, row.IdealSpeedup)
+	}
+
+	best, err := rep.BestSpeedup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBest: chain length %d → %.2fx ideal speedup (%d → %d launches)\n",
+		best.Length, best.IdealSpeedup, rep.SequenceLen, best.KernelsAfterFusion)
+
+	// Show a few deterministic candidates at a short length, the
+	// hand-fusable ones.
+	short, err := skip.RecommendFusion(res.Trace, []int{3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDeterministic 3-kernel chains (PS = 1), ready for a Triton kernel:")
+	count := 0
+	for _, c := range short.Rows[0].Candidates(1.0) {
+		fmt.Printf("  [%3d×] %s\n", c.Frequency, strings.Join(c.Kernels, " → "))
+		count++
+		if count == 6 {
+			break
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: simulate one LLM prefill on a closely-coupled platform,
+// profile the trace with SKIP, and read the paper's headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	skip "github.com/skipsim/skip"
+)
+
+func main() {
+	// Simulate Llama-3.2-1B prefill (batch 1, 512 tokens) on the GH200,
+	// PyTorch eager mode — the latency-critical chatbot scenario.
+	res, err := skip.Run(skip.GH200, "llama-3.2-1B", 1, 512, skip.ModeEager)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile the run's trace with SKIP: dependency graph + metrics.
+	metrics, graph, err := skip.Profile(res.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Llama-3.2-1B prefill on GH200 (BS=1, seq=512, eager)")
+	fmt.Printf("  TTFT (IL, Eq.4)          %v\n", res.TTFT)
+	fmt.Printf("  kernels launched         %d\n", res.KernelCount)
+	fmt.Printf("  TKLQT (Eq.2)             %v\n", metrics.TKLQT)
+	fmt.Printf("  avg kernel duration      %v\n", metrics.AKD)
+	fmt.Printf("  GPU idle (Eq.5)          %v  (%.0f%% of TTFT)\n",
+		metrics.GPUIdle, 100*float64(metrics.GPUIdle)/float64(metrics.IL))
+	fmt.Printf("  classification           %v\n", skip.ClassifyRun(metrics))
+
+	fmt.Println("\nTop 3 kernels by total execution time:")
+	for _, st := range graph.TopKernels(3, 1) {
+		fmt.Printf("  %-38s ×%-3d  %v total\n", st.Name, st.Count, st.TotalTime)
+	}
+
+	// The same run compiled with CUDA graphs: the launch tax vanishes.
+	compiled, err := skip.Run(skip.GH200, "llama-3.2-1B", 1, 512, skip.ModeCompileReduceOverhead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntorch.compile reduce-overhead: TTFT %v (%.2fx speedup, %v one-time compile)\n",
+		compiled.TTFT, float64(res.TTFT)/float64(compiled.TTFT), compiled.CompileTime)
+}

@@ -1,0 +1,63 @@
+// Serving policies: the paper's §II-A trade-off made concrete. An
+// inference server receives a Poisson request stream; we compare static
+// batching against greedy (continuous-style) batching on a loosely- and
+// a closely-coupled platform, watching TTFT percentiles, throughput, and
+// where on the batch-size curve each policy operates relative to the
+// platform's balanced region.
+//
+//	go run ./examples/serving_policies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	skip "github.com/skipsim/skip"
+)
+
+func main() {
+	model, err := skip.ModelByName("bert-base-uncased")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, rate := range []float64{50, 200} {
+		requests := skip.PoissonArrivals(150, rate, 11)
+		fmt.Printf("=== offered load %.0f req/s ===\n", rate)
+		fmt.Printf("%-12s %-14s %10s %10s %10s %12s\n",
+			"platform", "policy", "mean batch", "P50", "P95", "throughput")
+		for _, platName := range []string{skip.IntelH100, skip.GH200} {
+			p, err := skip.PlatformByName(platName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, policy := range []struct {
+				name string
+				cfg  skip.ServeConfig
+			}{
+				{"greedy≤32", skip.ServeConfig{
+					Platform: p, Model: model, Seq: 512, Mode: skip.ModeEager,
+					Policy: skip.GreedyBatch, MaxBatch: 32}},
+				{"static 16", skip.ServeConfig{
+					Platform: p, Model: model, Seq: 512, Mode: skip.ModeEager,
+					Policy: skip.StaticBatch, BatchSize: 16, MaxWait: 100 * 1e6}},
+			} {
+				stats, err := skip.Serve(policy.cfg, requests)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%-12s %-14s %10.1f %10v %10v %10.0f/s\n",
+					platName, policy.name, stats.MeanBatch,
+					stats.P50TTFT, stats.P95TTFT, stats.Throughput)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading the table: greedy batching tracks the offered load — small")
+	fmt.Println("batches (BS≈1 latency) when traffic is light, larger groups under")
+	fmt.Println("pressure. The GH200 self-selects larger batches than the LC system:")
+	fmt.Println("its per-batch host cost is higher, so work piles up while it runs —")
+	fmt.Println("which is exactly the paper's advice to operate CC parts deeper into")
+	fmt.Println("their (later) balanced batch region rather than at BS=1.")
+}

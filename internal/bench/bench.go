@@ -1,0 +1,186 @@
+// Package bench is the experiment harness: one registered experiment per
+// table and figure of the paper's evaluation, each regenerating the
+// artifact from the simulator + SKIP pipeline and rendering the same
+// rows/series the paper reports, with paper-shape checks attached.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one renderable result table (or one figure's data series).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	underline := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		underline[i] = strings.Repeat("-", len(c))
+	}
+	fmt.Fprintln(tw, strings.Join(underline, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Check is one paper-shape assertion evaluated by an experiment.
+type Check struct {
+	Name string
+	Got  string
+	Want string
+	Pass bool
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Checks []Check
+}
+
+// Passed reports whether all checks passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the whole result as text.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "==== %s: %s ====\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for i := range r.Tables {
+		if err := r.Tables[i].Render(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "  [%s] %s: got %s, paper %s\n", status, c.Name, c.Got, c.Want); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the artifact key: "table1", "fig6", …
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Paper summarizes what the paper reports for it.
+	Paper string
+	// Run executes the experiment.
+	Run func() (*Result, error)
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns the experiment with the given artifact key.
+func ByID(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return e, nil
+}
+
+// IDs lists registered experiments in presentation order: tables first,
+// then figures, then extensions, each numerically.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ri, rj := idRank(ids[i]), idRank(ids[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+func idRank(id string) int {
+	switch {
+	case strings.HasPrefix(id, "table"):
+		return 0
+	case strings.HasPrefix(id, "fig"):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// All returns every experiment in presentation order.
+func All() []*Experiment {
+	var out []*Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// check builds a Check from a measured value and an accepted band.
+func checkBand(name string, got, lo, hi float64, paperWant string) Check {
+	return Check{
+		Name: name,
+		Got:  fmt.Sprintf("%.2f", got),
+		Want: paperWant,
+		Pass: got >= lo && got <= hi,
+	}
+}
+
+func checkBool(name string, pass bool, got, paperWant string) Check {
+	return Check{Name: name, Got: got, Want: paperWant, Pass: pass}
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func d(v int) string       { return fmt.Sprintf("%d", v) }
+func d64(v int64) string   { return fmt.Sprintf("%d", v) }
+func ms(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func sec(v float64) string { return fmt.Sprintf("%.4f", v) }

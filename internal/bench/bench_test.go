@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryArtifact(t *testing.T) {
+	want := []string{
+		"table1", "table3", "table4", "table5",
+		"fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id should fail")
+	}
+	ids := IDs()
+	if len(ids) < len(want) {
+		t.Errorf("registry has %d experiments, want ≥ %d", len(ids), len(want))
+	}
+	// Presentation order: tables before figures.
+	if !strings.HasPrefix(ids[0], "table") {
+		t.Errorf("first id = %s, want a table", ids[0])
+	}
+}
+
+func TestAllExperimentsPassTheirChecks(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if r.ID != e.ID {
+				t.Errorf("result ID = %s", r.ID)
+			}
+			if len(r.Tables) == 0 {
+				t.Error("experiment produced no tables")
+			}
+			for _, c := range r.Checks {
+				if !c.Pass {
+					t.Errorf("check %q failed: got %s, paper %s", c.Name, c.Got, c.Want)
+				}
+			}
+			if !r.Passed() {
+				t.Error("Passed() = false")
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bb", "1", "4", "note: a note", "--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := Result{
+		ID:     "x",
+		Title:  "X",
+		Tables: []Table{{Title: "t", Columns: []string{"c"}, Rows: [][]string{{"v"}}}},
+		Checks: []Check{{Name: "n", Got: "1", Want: "2", Pass: false}},
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[FAIL] n") {
+		t.Errorf("render missing failed check:\n%s", out)
+	}
+	if r.Passed() {
+		t.Error("Passed with failing check")
+	}
+}
+
+func TestCheckHelpers(t *testing.T) {
+	c := checkBand("b", 5, 4, 6, "≈5")
+	if !c.Pass {
+		t.Error("in-band should pass")
+	}
+	c = checkBand("b", 7, 4, 6, "≈5")
+	if c.Pass {
+		t.Error("out-of-band should fail")
+	}
+	c = checkBool("x", true, "g", "w")
+	if !c.Pass || c.Got != "g" || c.Want != "w" {
+		t.Errorf("checkBool = %+v", c)
+	}
+}

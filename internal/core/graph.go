@@ -1,0 +1,171 @@
+// Package core implements SKIP, the System-Aware Kernel Inference
+// Profiler — the paper's primary contribution. It consumes profiler
+// traces (package trace), reconstructs the operator→kernel dependency
+// graph the way the paper describes (§IV-A: parent operators contain the
+// start times of their children and runtime calls; kernels link to launch
+// calls via CUPTI correlation IDs), and derives the paper's metrics:
+// TKLQT (Eq. 2), AKD (Eq. 3), IL (Eq. 4), GPU idle time (Eq. 5), top-k
+// kernel tracking, and the CPU-bound/GPU-bound workload classification of
+// §V-B.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/skipsim/skip/internal/sim"
+	"github.com/skipsim/skip/internal/trace"
+)
+
+// OpNode is one host operator in the dependency graph, with its nested
+// children and the kernel launches attributed to it.
+type OpNode struct {
+	Event    trace.Event
+	Children []*OpNode
+	Launches []*LaunchRecord
+}
+
+// Walk visits the subtree in start-time order.
+func (n *OpNode) Walk(visit func(*OpNode)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// LaunchRecord pairs a runtime launch call with the device work it
+// triggered.
+type LaunchRecord struct {
+	// Launch is the cudaLaunchKernel / cudaGraphLaunch /cudaMemcpyAsync
+	// runtime event.
+	Launch trace.Event
+	// Kernel is the correlated device event (kernel or copy); nil when
+	// the launch never materialized device work.
+	Kernel *trace.Event
+	// Op is the innermost operator containing the launch; nil for
+	// launches outside any operator span (e.g. captured-graph replays
+	// emitted by compiled host code).
+	Op *OpNode
+}
+
+// LaunchDelay is t_l of Eq. 1: kernel start minus launch-call start. It
+// includes the launch overhead and any queuing the kernel suffered.
+func (lr *LaunchRecord) LaunchDelay() sim.Time {
+	if lr.Kernel == nil {
+		return 0
+	}
+	return lr.Kernel.Ts - lr.Launch.Ts
+}
+
+// Graph is the reconstructed operator-kernel dependency graph of one
+// trace.
+type Graph struct {
+	// Parents are the top-level ATen operators, in execution order.
+	Parents []*OpNode
+	// Launches are all launch records, in launch order.
+	Launches []*LaunchRecord
+	// Kernels are the device kernel events, in execution order.
+	Kernels []trace.Event
+	// Trace is the source trace.
+	Trace *trace.Trace
+}
+
+// BuildGraph reconstructs the dependency graph from a trace: operators
+// nest by start-time containment per thread, launches attach to their
+// innermost containing operator, kernels attach to launches by
+// correlation ID.
+func BuildGraph(tr *trace.Trace) (*Graph, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	g := &Graph{Trace: tr, Kernels: tr.Kernels()}
+
+	// Index kernels (and copies) by correlation.
+	kernelByCorr := make(map[uint64]*trace.Event)
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if (e.Cat == trace.CatKernel || e.Cat == trace.CatMemcpy) && e.Correlation != 0 {
+			kernelByCorr[e.Correlation] = e
+		}
+	}
+
+	// Group host events by thread, in (start, emission) order. The trace
+	// is already sorted stably by Ts.
+	type hostEvent struct {
+		ev      trace.Event
+		op      bool
+		seqOrig int
+	}
+	byTID := make(map[int][]hostEvent)
+	var tids []int
+	for i, e := range tr.Events {
+		switch e.Cat {
+		case trace.CatOperator, trace.CatRuntime:
+			if _, ok := byTID[e.TID]; !ok {
+				tids = append(tids, e.TID)
+			}
+			byTID[e.TID] = append(byTID[e.TID], hostEvent{ev: e, op: e.Cat == trace.CatOperator, seqOrig: i})
+		}
+	}
+	sort.Ints(tids)
+
+	for _, tid := range tids {
+		events := byTID[tid]
+		// Containment stack: an operator is the parent of every later
+		// host event whose start falls inside its span (§IV-A).
+		var stack []*OpNode
+		for _, he := range events {
+			// Pop operators that ended before this event starts.
+			for len(stack) > 0 && !stack[len(stack)-1].Event.Contains(&he.ev) {
+				stack = stack[:len(stack)-1]
+			}
+			if he.op {
+				node := &OpNode{Event: he.ev}
+				if len(stack) == 0 {
+					g.Parents = append(g.Parents, node)
+				} else {
+					top := stack[len(stack)-1]
+					top.Children = append(top.Children, node)
+				}
+				stack = append(stack, node)
+				continue
+			}
+			// Runtime call: record launches (events carrying a
+			// correlation — launch/memcpy calls; sync calls carry none).
+			if he.ev.Correlation == 0 {
+				continue
+			}
+			lr := &LaunchRecord{Launch: he.ev, Kernel: kernelByCorr[he.ev.Correlation]}
+			if len(stack) > 0 {
+				lr.Op = stack[len(stack)-1]
+				stack[len(stack)-1].Launches = append(stack[len(stack)-1].Launches, lr)
+			}
+			g.Launches = append(g.Launches, lr)
+		}
+	}
+	return g, nil
+}
+
+// ParentCount returns the number of top-level operators.
+func (g *Graph) ParentCount() int { return len(g.Parents) }
+
+// OpCount returns the total number of operator nodes.
+func (g *Graph) OpCount() int {
+	total := 0
+	for _, p := range g.Parents {
+		p.Walk(func(*OpNode) { total++ })
+	}
+	return total
+}
+
+// KernelLaunches returns launch records that produced a device kernel
+// (excluding memcpys), in launch order.
+func (g *Graph) KernelLaunches() []*LaunchRecord {
+	var out []*LaunchRecord
+	for _, lr := range g.Launches {
+		if lr.Kernel != nil && lr.Kernel.Cat == trace.CatKernel {
+			out = append(out, lr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/skipsim/skip/internal/core"
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+)
+
+// sweep runs a batch sweep and returns the TKLQT/TTFT series SKIP's
+// classifier consumes (the Fig. 6 pipeline, end to end).
+func sweep(t *testing.T, p *hw.Platform, m *models.Config, batches []int64) []core.SeriesPoint {
+	t.Helper()
+	var series []core.SeriesPoint
+	for _, bs := range batches {
+		res, err := engine.Run(engine.Request{Platform: p, Model: m, Batch: bs, Seq: 512, Mode: engine.Eager})
+		if err != nil {
+			t.Fatal(err)
+		}
+		metrics, _, err := core.Analyze(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series = append(series, core.SeriesPoint{
+			Batch: bs, TKLQT: metrics.TKLQT, TTFT: res.TTFT, Metrics: metrics,
+		})
+	}
+	return series
+}
+
+var encoderBatches = []int64{1, 2, 4, 8, 16, 32, 64}
+
+func TestFig6EncoderTransitions(t *testing.T) {
+	// Paper Fig. 6: encoder-only models transition from CPU-bound to
+	// GPU-bound around BS=8 on the LC systems and around BS=32 on the
+	// GH200 — "4x more CPU-bound".
+	bert := models.BertBaseUncased()
+
+	intel := sweep(t, hw.IntelH100(), bert, encoderBatches)
+	amd := sweep(t, hw.AMDA100(), bert, encoderBatches)
+	gh := sweep(t, hw.GH200(), bert, encoderBatches)
+
+	tIntel, err := core.TransitionBatch(intel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tAMD, err := core.TransitionBatch(amd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tGH, err := core.TransitionBatch(gh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if tIntel < 4 || tIntel > 16 {
+		t.Errorf("Intel+H100 transition = %d, want ≈8", tIntel)
+	}
+	if tAMD < 4 || tAMD > 16 {
+		t.Errorf("AMD+A100 transition = %d, want ≈8", tAMD)
+	}
+	if tGH < 16 || tGH > 64 {
+		t.Errorf("GH200 transition = %d, want ≈32", tGH)
+	}
+	if tGH < 2*tIntel {
+		t.Errorf("GH200 transition (%d) should be several times the LC transition (%d)", tGH, tIntel)
+	}
+}
+
+func TestFig6TKLQTShape(t *testing.T) {
+	// TKLQT is near-flat in the CPU-bound region (sub-linear in batch)
+	// and explodes super-linearly past the knee.
+	gh := sweep(t, hw.GH200(), models.BertBaseUncased(), encoderBatches)
+	// Over BS 1→8 (8x batch growth, inside GH200's CPU-bound region)
+	// TKLQT grows far slower than batch.
+	plateauGrowth := float64(gh[3].TKLQT) / float64(gh[0].TKLQT)
+	if plateauGrowth > 4 {
+		t.Errorf("GH200 TKLQT grew %.1fx over BS 1→8, want sub-linear (<4x)", plateauGrowth)
+	}
+	// Over BS 8→64 (another 8x) it explodes.
+	explosion := float64(gh[6].TKLQT) / float64(gh[3].TKLQT)
+	if explosion < 50 {
+		t.Errorf("GH200 TKLQT grew only %.1fx over BS 8→64, want queue explosion (>50x)", explosion)
+	}
+	// At BS=1 TKLQT sits on the pure launch-overhead floor.
+	floor := float64(gh[0].Metrics.KernelCount) * hw.GH200().LaunchOverheadNs
+	if got := float64(gh[0].TKLQT); got > floor*1.05 {
+		t.Errorf("GH200 BS=1 TKLQT = %.0f, want ≈ launch floor %.0f", got, floor)
+	}
+}
+
+func TestFig6PerRunClassification(t *testing.T) {
+	bert := models.BertBaseUncased()
+	gh := sweep(t, hw.GH200(), bert, encoderBatches)
+	if got := core.ClassifyRun(gh[0].Metrics); got != core.CPUBound {
+		t.Errorf("GH200 BS=1 classified %v, want CPU-bound", got)
+	}
+	if got := core.ClassifyRun(gh[len(gh)-1].Metrics); got != core.GPUBound {
+		t.Errorf("GH200 BS=64 classified %v, want GPU-bound", got)
+	}
+	intel := sweep(t, hw.IntelH100(), bert, encoderBatches)
+	if got := core.ClassifyRun(intel[len(intel)-1].Metrics); got != core.GPUBound {
+		t.Errorf("Intel BS=64 classified %v, want GPU-bound", got)
+	}
+}
+
+func TestFig10CrossoverPoint(t *testing.T) {
+	// Paper §V-D: GH200 overtakes the LC systems for encoders beyond
+	// BS=16 (CP at 16; first strictly-better sampled batch is 32).
+	bert := models.BertBaseUncased()
+	gh := sweep(t, hw.GH200(), bert, encoderBatches)
+	intel := sweep(t, hw.IntelH100(), bert, encoderBatches)
+	cp, err := core.Crossover(gh, intel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp < 16 || cp > 32 {
+		t.Errorf("encoder crossover = %d, want 16-32", cp)
+	}
+}
+
+func TestFig11DecoderCrossovers(t *testing.T) {
+	decBatches := []int64{1, 2, 4, 8, 16}
+	// Llama-3.2-1B: crossover at (or near) BS=1 — GH200 competitive
+	// immediately.
+	llama := models.Llama32_1B()
+	ghL := sweep(t, hw.GH200(), llama, decBatches)
+	intelL := sweep(t, hw.IntelH100(), llama, decBatches)
+	cpL, err := core.Crossover(ghL, intelL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpL == 0 || cpL > 4 {
+		t.Errorf("llama crossover = %d, want ≤4 (paper: 1)", cpL)
+	}
+
+	// GPT-2 crosses later than Llama but the GH200 does eventually win.
+	gpt2 := models.GPT2()
+	ghG := sweep(t, hw.GH200(), gpt2, decBatches)
+	intelG := sweep(t, hw.IntelH100(), gpt2, decBatches)
+	cpG, err := core.Crossover(ghG, intelG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpG == 0 {
+		t.Error("gpt2: GH200 should overtake Intel within BS≤16")
+	}
+	if cpG < cpL {
+		t.Errorf("gpt2 crossover (%d) should not precede llama's (%d)", cpG, cpL)
+	}
+}
+
+func TestBalancedRegionMovesRightOnGH200(t *testing.T) {
+	// Paper §V-D: GH200 reaches balanced CPU/GPU utilization at higher
+	// batch sizes than the LC systems (encoders: LC 4-8, CC 16-32).
+	bert := models.BertBaseUncased()
+	intel := sweep(t, hw.IntelH100(), bert, encoderBatches)
+	gh := sweep(t, hw.GH200(), bert, encoderBatches)
+	loI, _, okI := core.BalancedRegion(intel, 0.45)
+	loG, _, okG := core.BalancedRegion(gh, 0.45)
+	if !okI || !okG {
+		t.Fatalf("no balanced region found: intel=%v gh=%v", okI, okG)
+	}
+	if loG <= loI {
+		t.Errorf("GH200 balanced region (from %d) should sit at larger batches than Intel's (from %d)", loG, loI)
+	}
+}
+
+func TestTKLQTFloorIsLaunchOverhead(t *testing.T) {
+	// In the deep CPU-bound region, TKLQT ≈ kernel count × Table V
+	// launch overhead: queuing contributes almost nothing (§V-B).
+	res, err := engine.Run(engine.Request{
+		Platform: hw.GH200(), Model: models.BertBaseUncased(), Batch: 1, Seq: 512, Mode: engine.Eager,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := core.Analyze(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := float64(m.KernelCount) * hw.GH200().LaunchOverheadNs
+	got := float64(m.TKLQT)
+	if got < floor*0.99 || got > floor*1.3 {
+		t.Errorf("CPU-bound TKLQT = %.0fns, want ≈ floor %.0fns (kernels × launch overhead)", got, floor)
+	}
+	// The minimum observed delay is the queue-free launch overhead.
+	if diff := float64(m.MinDelay) - hw.GH200().LaunchOverheadNs; diff < -1 || diff > 1 {
+		t.Errorf("min delay %v should equal the Table V launch overhead", m.MinDelay)
+	}
+}

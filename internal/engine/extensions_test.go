@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/skipsim/skip/internal/core"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+func llamaReq(p *hw.Platform, bs int64) Request {
+	return Request{Platform: p, Model: models.Llama32_1B(), Batch: bs, Seq: 512, Mode: Eager}
+}
+
+func TestRunGenerateBasics(t *testing.T) {
+	res, err := RunGenerate(llamaReq(hw.GH200(), 1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTFT <= 0 || res.DecodeTime <= 0 {
+		t.Fatalf("phases: ttft=%v decode=%v", res.TTFT, res.DecodeTime)
+	}
+	if res.Total != res.TTFT+res.DecodeTime {
+		t.Error("total must be the sum of phases")
+	}
+	if res.TPOT <= 0 || res.TPOT >= res.TTFT {
+		t.Errorf("TPOT (%v) should be positive and well below TTFT (%v)", res.TPOT, res.TTFT)
+	}
+	if res.DecodeKernelsPerStep <= 0 {
+		t.Error("decode steps should launch kernels")
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatalf("generation trace invalid: %v", err)
+	}
+}
+
+func TestDecodeIsMemoryPressured(t *testing.T) {
+	// §II-A: prefill pressures compute; decode pressures memory. The
+	// decode phase's arithmetic intensity (FLOPs/byte) must be far below
+	// prefill's.
+	prefill, err := models.BuildPrefill(models.Llama32_1B(), 1, 512, models.AttnEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode, err := models.BuildDecodeStep(models.Llama32_1B(), 1, 512, models.AttnEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, dc := prefill.TotalCost(), decode.TotalCost()
+	prefillIntensity := pc.FLOPs / pc.Bytes()
+	decodeIntensity := dc.FLOPs / dc.Bytes()
+	if decodeIntensity >= prefillIntensity/10 {
+		t.Errorf("decode intensity %.2f vs prefill %.2f: want ≥10x lower",
+			decodeIntensity, prefillIntensity)
+	}
+}
+
+func TestDecodeStepRejectsBadInput(t *testing.T) {
+	if _, err := models.BuildDecodeStep(models.BertBaseUncased(), 1, 512, models.AttnEager); err == nil {
+		t.Error("encoders cannot decode")
+	}
+	if _, err := models.BuildDecodeStep(models.GPT2(), 0, 512, models.AttnEager); err == nil {
+		t.Error("zero batch should fail")
+	}
+	if _, err := RunGenerate(llamaReq(hw.GH200(), 1), 0); err == nil {
+		t.Error("zero tokens should fail")
+	}
+	if _, err := RunGenerate(Request{Platform: hw.GH200(), Model: models.BertBaseUncased(), Batch: 1, Seq: 128, Mode: Eager}, 4); err == nil {
+		t.Error("encoder generation should fail")
+	}
+	req := llamaReq(hw.GH200(), 1)
+	req.Mode = CompileMaxAutotune
+	if _, err := RunGenerate(req, 4); err == nil {
+		t.Error("compiled generation should fail")
+	}
+}
+
+func TestDecodeMoreCPUBoundThanPrefill(t *testing.T) {
+	// Decode kernels are tiny (one token), so the decode phase sits
+	// deeper in the launch-dominated regime — the GPU idles more per
+	// step than during prefill on the same platform.
+	res, err := RunGenerate(llamaReq(hw.GH200(), 1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefillIdleFrac := 1 - float64(res.PrefillGPUBusy)/float64(res.TTFT)
+	decodeIdleFrac := 1 - float64(res.DecodeGPUBusy)/float64(res.DecodeTime)
+	if decodeIdleFrac <= prefillIdleFrac {
+		t.Errorf("decode GPU idle frac %.2f should exceed prefill's %.2f",
+			decodeIdleFrac, prefillIdleFrac)
+	}
+}
+
+func TestDecodeGPUWorkScalesWithKVLength(t *testing.T) {
+	// Per-step GPU time grows with the cache depth (attention streams
+	// the whole KV cache). Wall-clock TPOT at small batch stays pinned
+	// to the launch cadence — decode is launch-bound — so the growth
+	// shows up in device busy time, not latency.
+	short, err := RunGenerate(Request{Platform: hw.IntelH100(), Model: models.Llama32_1B(), Batch: 8, Seq: 128, Mode: Eager}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := RunGenerate(Request{Platform: hw.IntelH100(), Model: models.Llama32_1B(), Batch: 8, Seq: 4096, Mode: Eager}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.DecodeGPUBusy <= short.DecodeGPUBusy {
+		t.Errorf("decode GPU busy should grow with KV length: %v (kv=128) vs %v (kv=4096)",
+			short.DecodeGPUBusy, long.DecodeGPUBusy)
+	}
+	if long.TPOT < short.TPOT {
+		t.Errorf("TPOT must not shrink with KV length: %v vs %v", short.TPOT, long.TPOT)
+	}
+}
+
+func TestRunFusedConservative(t *testing.T) {
+	req := Request{Platform: hw.GH200(), Model: models.GPT2(), Batch: 1, Seq: 512, Mode: Eager}
+	eager, err := Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := RunFused(req, 8, LaunchSavingsOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.FusedInstances == 0 {
+		t.Fatal("no chains applied")
+	}
+	if fused.LaunchesSaved != fused.FusedInstances*7 {
+		t.Errorf("LaunchesSaved = %d", fused.LaunchesSaved)
+	}
+	// Kernel count shrinks by exactly the saved launches.
+	if got := eager.KernelCount - fused.Result.KernelCount; got != fused.LaunchesSaved {
+		t.Errorf("kernel reduction = %d, want %d", got, fused.LaunchesSaved)
+	}
+	// Conservative application must help, but only by the launch tax.
+	if fused.Result.TTFT >= eager.TTFT {
+		t.Errorf("fused TTFT %v should beat eager %v", fused.Result.TTFT, eager.TTFT)
+	}
+	if err := fused.Result.Trace.Validate(); err != nil {
+		t.Fatalf("fused trace invalid: %v", err)
+	}
+}
+
+func TestRunFusedFullRegionApproachesIdeal(t *testing.T) {
+	// In the deep CPU-bound region, full-region fusion should realize a
+	// large share of the Eq. 8 ideal (which assumes the whole per-kernel
+	// cadence scales with launch count).
+	req := Request{Platform: hw.GH200(), Model: models.GPT2(), Batch: 1, Seq: 512, Mode: Eager}
+	eager, err := Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const l = 16
+	full, err := RunFused(req, l, FullRegionFusion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := RunFused(req, l, LaunchSavingsOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSpeedup := float64(eager.TTFT) / float64(full.Result.TTFT)
+	consSpeedup := float64(eager.TTFT) / float64(cons.Result.TTFT)
+	if fullSpeedup <= consSpeedup {
+		t.Errorf("full-region speedup %.2f should exceed launch-only %.2f", fullSpeedup, consSpeedup)
+	}
+	if fullSpeedup < 1.2 {
+		t.Errorf("full-region speedup %.2f too small for a CPU-bound run", fullSpeedup)
+	}
+}
+
+func TestRunFusedRejectsBadRequests(t *testing.T) {
+	req := Request{Platform: hw.GH200(), Model: models.GPT2(), Batch: 1, Seq: 512, Mode: Flash}
+	if _, err := RunFused(req, 8, LaunchSavingsOnly); err == nil {
+		t.Error("non-eager mode should fail")
+	}
+	req.Mode = Eager
+	if _, err := RunFused(req, 1, LaunchSavingsOnly); err == nil {
+		t.Error("chain length 1 should fail")
+	}
+	if _, err := RunFused(Request{}, 8, LaunchSavingsOnly); err == nil {
+		t.Error("empty request should fail")
+	}
+}
+
+func TestFusedTraceStillProfilable(t *testing.T) {
+	req := Request{Platform: hw.IntelH100(), Model: models.GPT2(), Batch: 1, Seq: 512, Mode: Eager}
+	fused, err := RunFused(req, 4, LaunchSavingsOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := core.Analyze(fused.Result.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.KernelCount != fused.Result.KernelCount {
+		t.Errorf("profiler sees %d kernels, engine reports %d", m.KernelCount, fused.Result.KernelCount)
+	}
+}
+
+func TestFusionApplicationStrings(t *testing.T) {
+	if LaunchSavingsOnly.String() != "launch-savings-only" || FullRegionFusion.String() != "full-region" {
+		t.Error("FusionApplication strings")
+	}
+}
+
+// TTFT is non-decreasing in batch size on every platform: more work per
+// pass can never finish sooner in a single-stream simulator.
+func TestTTFTMonotoneInBatch(t *testing.T) {
+	for _, p := range []*hw.Platform{hw.AMDA100(), hw.IntelH100(), hw.GH200()} {
+		var prev sim.Time
+		for bs := int64(1); bs <= 64; bs *= 2 {
+			res, err := Run(Request{Platform: p, Model: models.BertBaseUncased(), Batch: bs, Seq: 512, Mode: Eager})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TTFT < prev {
+				t.Errorf("%s: TTFT decreased at BS=%d: %v < %v", p.Name, bs, res.TTFT, prev)
+			}
+			prev = res.TTFT
+		}
+	}
+}
+
+// TTFT grows with sequence length (quadratic attention term included).
+func TestTTFTMonotoneInSeq(t *testing.T) {
+	var prev sim.Time
+	for _, seq := range []int64{128, 256, 512} {
+		res, err := Run(Request{Platform: hw.GH200(), Model: models.GPT2(), Batch: 1, Seq: seq, Mode: Eager})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TTFT < prev {
+			t.Errorf("TTFT decreased at seq=%d", seq)
+		}
+		prev = res.TTFT
+	}
+}
+
+// Flash mode dominates eager across platforms and batches: fewer kernels,
+// less traffic, never slower.
+func TestFlashNeverSlower(t *testing.T) {
+	for _, p := range []*hw.Platform{hw.IntelH100(), hw.GH200()} {
+		for _, bs := range []int64{1, 8, 32} {
+			eager, err := Run(Request{Platform: p, Model: models.BertBaseUncased(), Batch: bs, Seq: 512, Mode: Eager})
+			if err != nil {
+				t.Fatal(err)
+			}
+			flash, err := Run(Request{Platform: p, Model: models.BertBaseUncased(), Batch: bs, Seq: 512, Mode: Flash})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flash.TTFT > eager.TTFT {
+				t.Errorf("%s BS=%d: flash (%v) slower than eager (%v)", p.Name, bs, flash.TTFT, eager.TTFT)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package fusion implements the paper's proximity-score kernel-fusion
+// recommendation method (§III-C): mine deterministic kernel chains from
+// runtime traces, score them by how reliably a chain follows its leading
+// kernel (Eq. 6), select non-overlapping deterministic chains, and
+// compute the idealized launch-tax savings of fusing them (Eqs. 7-8).
+//
+// Unlike domain-specific fusion (FlashAttention) or whole-graph capture
+// (torch.compile), the method needs no pre-specification: determinism is
+// discovered from the executed kernel sequence, where per-layer structure
+// makes shape-specialized kernels recur in fixed order.
+package fusion
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/skipsim/skip/internal/trace"
+)
+
+// KernelSequence extracts the kernel-name execution sequence from a
+// trace, in device execution order (the timed kernel sequences SKIP
+// feeds the recommender). Memcpys are not kernels and are excluded.
+func KernelSequence(tr *trace.Trace) []string {
+	kernels := tr.Kernels()
+	names := make([]string, 0, len(kernels))
+	for _, k := range kernels {
+		names = append(names, k.Name)
+	}
+	return names
+}
+
+// Chain is one kernel chain candidate of a fixed length.
+type Chain struct {
+	// Kernels are the chain's kernel names, in order.
+	Kernels []string
+	// Frequency is f(C): how many windows of the sequence equal C.
+	Frequency int
+	// LeadFrequency is f(k_i): occurrences of the leading kernel.
+	LeadFrequency int
+	// Score is the proximity score PS(C) = f(C)/f(k_i) (Eq. 6): the
+	// likelihood that executing the leading kernel continues into
+	// exactly this chain. PS = 1 marks a deterministic pattern, the
+	// ideal fusion candidate.
+	Score float64
+}
+
+// Key renders the chain as a stable map key / display string.
+func (c *Chain) Key() string { return strings.Join(c.Kernels, "→") }
+
+// Deterministic reports whether the chain always follows its lead.
+func (c *Chain) Deterministic() bool { return c.Score >= 1.0 }
+
+// Analysis is the result of mining one sequence at one chain length —
+// one cell of the paper's Fig. 7 heatmaps.
+type Analysis struct {
+	// Length is the chain length L.
+	Length int
+	// SequenceLen is the kernel count of the analyzed trace (K_eager
+	// when the trace is an eager run — Fig. 7d).
+	SequenceLen int
+	// Chains are the distinct chains observed, with scores.
+	Chains []Chain
+	// UniqueChains = len(Chains) (Fig. 7a).
+	UniqueChains int
+	// TotalInstances is the summed frequency of all observed chains
+	// (Fig. 7b).
+	TotalInstances int
+	// FusedChains is C_fused of Eq. 7: the number of distinct
+	// deterministic (PS=1) chains selected by a greedy non-overlapping
+	// left-to-right cover of the sequence (Fig. 7c).
+	FusedChains int
+	// KernelsAfterFusion is K_fused of Eq. 7:
+	// K_eager − C_fused·(L−1).
+	KernelsAfterFusion int
+	// IdealSpeedup is Eq. 8: K_eager / K_fused — the theoretical
+	// maximum from launch-count reduction alone, assuming constant
+	// launch overhead per kernel and no other performance impact.
+	IdealSpeedup float64
+}
+
+// Analyze mines a kernel sequence at chain length L.
+func Analyze(seq []string, l int) (*Analysis, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("fusion: chain length must be ≥ 2, got %d", l)
+	}
+	a := &Analysis{Length: l, SequenceLen: len(seq)}
+	if len(seq) < l {
+		// Chain longer than the program: nothing to fuse (the paper's
+		// zero cells and the speedup plateau past K_eager).
+		a.KernelsAfterFusion = len(seq)
+		a.IdealSpeedup = 1
+		return a, nil
+	}
+
+	lead := make(map[string]int, 64)
+	for _, k := range seq {
+		lead[k]++
+	}
+	windows := make(map[string]int, len(seq))
+	order := make([]string, 0, 64) // deterministic output order
+	for i := 0; i+l <= len(seq); i++ {
+		key := strings.Join(seq[i:i+l], "→")
+		if _, seen := windows[key]; !seen {
+			order = append(order, key)
+		}
+		windows[key]++
+	}
+
+	chainAt := func(i int) string { return strings.Join(seq[i:i+l], "→") }
+	for _, key := range order {
+		freq := windows[key]
+		leadName := strings.SplitN(key, "→", 2)[0]
+		a.Chains = append(a.Chains, Chain{
+			Kernels:       strings.Split(key, "→"),
+			Frequency:     freq,
+			LeadFrequency: lead[leadName],
+			Score:         float64(freq) / float64(lead[leadName]),
+		})
+		a.TotalInstances += freq
+	}
+	a.UniqueChains = len(a.Chains)
+
+	// Greedy left-to-right non-overlapping cover with deterministic
+	// chains; C_fused counts the distinct chains fused (Eq. 7 charges
+	// one launch saving of L−1 per deterministic chain).
+	det := make(map[string]bool, len(a.Chains))
+	for _, c := range a.Chains {
+		if c.Deterministic() {
+			det[c.Key()] = true
+		}
+	}
+	fusedSet := make(map[string]bool)
+	for i := 0; i+l <= len(seq); {
+		key := chainAt(i)
+		if det[key] && !fusedSet[key] {
+			fusedSet[key] = true
+			i += l
+			continue
+		}
+		i++
+	}
+	a.FusedChains = len(fusedSet)
+
+	a.KernelsAfterFusion = len(seq) - a.FusedChains*(l-1)
+	if a.KernelsAfterFusion < 1 {
+		a.KernelsAfterFusion = 1
+	}
+	a.IdealSpeedup = float64(len(seq)) / float64(a.KernelsAfterFusion)
+	return a, nil
+}
+
+// Candidates returns the chains with PS ≥ threshold, the recommendation
+// rule of §III-C (PS(C) ≥ T).
+func (a *Analysis) Candidates(threshold float64) []Chain {
+	var out []Chain
+	for _, c := range a.Chains {
+		if c.Score >= threshold {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Report is a chain-length sweep over one trace — the full Fig. 7/8
+// dataset for one (model, batch) cell.
+type Report struct {
+	SequenceLen int
+	Rows        []Analysis
+}
+
+// Sweep analyzes the sequence at every chain length in lengths.
+func Sweep(seq []string, lengths []int) (*Report, error) {
+	r := &Report{SequenceLen: len(seq)}
+	for _, l := range lengths {
+		a, err := Analyze(seq, l)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, *a)
+	}
+	return r, nil
+}
+
+// StandardLengths are the paper's Fig. 7 chain lengths.
+func StandardLengths() []int {
+	return []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
+}
+
+// BestSpeedup returns the row with the highest ideal speedup.
+func (r *Report) BestSpeedup() (Analysis, error) {
+	if len(r.Rows) == 0 {
+		return Analysis{}, fmt.Errorf("fusion: empty report")
+	}
+	best := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.IdealSpeedup > best.IdealSpeedup {
+			best = row
+		}
+	}
+	return best, nil
+}
+
+// InstancePositions returns the start indices of a greedy left-to-right
+// non-overlapping cover of the sequence by deterministic (PS=1) chains of
+// length l — every fusable instance, not just distinct chains. This is
+// the plan an applied fusion prototype executes (the paper implements
+// recommendations only; instance-level application is our extension).
+func InstancePositions(seq []string, l int) ([]int, error) {
+	a, err := Analyze(seq, l)
+	if err != nil {
+		return nil, err
+	}
+	det := make(map[string]bool, len(a.Chains))
+	for _, c := range a.Chains {
+		if c.Deterministic() {
+			det[c.Key()] = true
+		}
+	}
+	var positions []int
+	for i := 0; i+l <= len(seq); {
+		if det[strings.Join(seq[i:i+l], "→")] {
+			positions = append(positions, i)
+			i += l
+			continue
+		}
+		i++
+	}
+	return positions, nil
+}

@@ -1,0 +1,214 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Platform names for the three evaluation systems of Table IV, plus the
+// tightly-coupled projection the paper names as future work (§VI).
+const (
+	AMDA100Name   = "AMD+A100"
+	IntelH100Name = "Intel+H100"
+	GH200Name     = "GH200"
+	MI300AName    = "MI300A"
+)
+
+// Calibration notes
+//
+// Launch overheads and null-kernel durations are the paper's own Table V
+// measurements and are used verbatim. GPU peaks come from vendor spec
+// sheets; the paper states the H100 PCIe and GH200 GPU are
+// compute-equivalent with the GH200 enjoying higher-bandwidth HBM3.
+// Single-thread scores and the saturation knees are calibrated against
+// the paper's reported shapes:
+//
+//   - BS=1 Bert TTFT: GH200 ≈ 2.8× Intel+H100, ≈ 1.9× AMD+A100 (Fig 10a)
+//   - encoder CPU→GPU-bound transition: ≈ BS 8 on LC, ≈ BS 32 on GH200
+//     (Fig 6 — "4x more CPU-bound")
+//   - Bert BS=64 TTFT: GH200 1.6×/2.4× faster than Intel/AMD (Fig 10a)
+//   - Llama-3.2-1B BS=16: GH200 1.9×/2.7× faster (Fig 11a)
+
+// AMDA100 returns the loosely-coupled AMD EPYC 7313 + A100-SXM4-80GB
+// platform (Table IV, system 1).
+func AMDA100() *Platform {
+	return &Platform{
+		Name:     AMDA100Name,
+		Coupling: LooselyCoupled,
+		CPU: CPUSpec{
+			Name:              "AMD EPYC 7313 16-Core",
+			Arch:              "x86_64",
+			Cores:             16,
+			Sockets:           1,
+			MemGB:             512,
+			MemType:           "DDR4",
+			SingleThreadScore: 0.68,
+		},
+		GPU: GPUSpec{
+			Name:            "A100-SXM4-80GB",
+			PeakFP16TFLOPS:  312,
+			HBMGBps:         2039,
+			HBMGB:           80,
+			NullKernelNs:    1440.0, // Table V
+			ComputeEff:      0.42,   // 500W SXM sustains near-rated MFU
+			MemoryEff:       0.70,   // ~1.4 TB/s achievable streaming bandwidth
+			ComputeSatFLOPs: 2.0e8,
+			MemorySatBytes:  1.5e6,
+			RowSatRows:      1024, // 108 SMs saturate at fewer rows than Hopper
+
+		},
+		IC:                Interconnect{Name: "PCIe Gen4 x16", BandwidthGBps: 32, LatencyNs: 1500},
+		LaunchOverheadNs:  2260.5, // Table V
+		LaunchCPUFraction: 0.62,
+		PowerW:            500,
+	}
+}
+
+// IntelH100 returns the loosely-coupled 2P Intel Xeon Platinum 8468V +
+// H100 PCIe platform (Table IV, system 2).
+func IntelH100() *Platform {
+	return &Platform{
+		Name:     IntelH100Name,
+		Coupling: LooselyCoupled,
+		CPU: CPUSpec{
+			Name:              "2P Intel Xeon Platinum 8468V (48-core)",
+			Arch:              "x86_64",
+			Cores:             96,
+			Sockets:           2,
+			MemGB:             512,
+			MemType:           "DDR5",
+			SingleThreadScore: 1.00, // reference
+		},
+		GPU: GPUSpec{
+			Name:            "H100 PCIe",
+			PeakFP16TFLOPS:  756,
+			HBMGBps:         2000,
+			HBMGB:           80,
+			NullKernelNs:    1235.2, // Table V
+			ComputeEff:      0.29,   // 350W PCIe part throttles well below SXM MFU
+			MemoryEff:       0.80,
+			ComputeSatFLOPs: 2.0e8,
+			MemorySatBytes:  1.5e6,
+			RowSatRows:      1536,
+		},
+		IC:                Interconnect{Name: "PCIe Gen5 x16", BandwidthGBps: 64, LatencyNs: 1200},
+		LaunchOverheadNs:  2374.6, // Table V
+		LaunchCPUFraction: 0.62,
+		PowerW:            350,
+	}
+}
+
+// GH200 returns the closely-coupled NVIDIA Grace Hopper Superchip
+// (Table IV, system 3): 72-core Neoverse V2 Grace + H100 with HBM3,
+// joined by NVLink-C2C with unified virtual memory.
+func GH200() *Platform {
+	return &Platform{
+		Name:     GH200Name,
+		Coupling: CloselyCoupled,
+		CPU: CPUSpec{
+			Name:              "Grace 72-core Arm Neoverse V2",
+			Arch:              "aarch64",
+			Cores:             72,
+			Sockets:           1,
+			MemGB:             480,
+			MemType:           "LPDDR5X",
+			SingleThreadScore: 0.31,
+		},
+		GPU: GPUSpec{
+			Name: "H100 (GH200, HBM3)",
+			// The paper describes the GH200 GPU as compute-equivalent to
+			// the H100 PCIe; its own large-batch speedups (1.9x for
+			// Llama-3.2-1B at BS=16 over Intel+H100) additionally imply
+			// the SXM-class clock/power advantage of the 900W module, so
+			// we carry the SXM spec here. The dominant factor remains
+			// the 2x HBM3 bandwidth.
+			PeakFP16TFLOPS: 990,
+			HBMGBps:        4000,
+			HBMGB:          96,
+			NullKernelNs:   1171.2, // Table V
+			ComputeEff:     0.42,   // 900W module, SXM-class sustained MFU
+			// Achievable HBM3 bandwidth on GH200 measures well below the
+			// 4 TB/s plate rating (~2.4 TB/s streaming; cf. Fusco et al.,
+			// "Understanding Data Movement in Tightly Coupled
+			// Heterogeneous Systems"), which also matches the blended
+			// ~1.5-1.6x large-batch advantage the paper reports.
+			MemoryEff:       0.60,
+			ComputeSatFLOPs: 2.0e8,
+			MemorySatBytes:  1.5e6,
+			RowSatRows:      2048,
+		},
+		IC:                   Interconnect{Name: "NVLink-C2C", BandwidthGBps: 450, LatencyNs: 400},
+		UnifiedVirtualMemory: true,
+		LaunchOverheadNs:     2771.6, // Table V
+		LaunchCPUFraction:    0.62,
+		PowerW:               900,
+	}
+}
+
+// MI300A returns a projected tightly-coupled platform in the mold of the
+// AMD Instinct MI300A (paper §II-B and future work §VI): Zen4 cores and a
+// CDNA3 GPU in one package sharing physically unified HBM3. The paper
+// could not evaluate this system; parameters follow its §II-B description
+// (1 TB/s Infinity Fabric, unified HBM3, no explicit CPU-GPU transfers)
+// and public spec sheets, and are provided for the ablation benches.
+func MI300A() *Platform {
+	return &Platform{
+		Name:     MI300AName,
+		Coupling: TightlyCoupled,
+		CPU: CPUSpec{
+			Name:              "MI300A Zen4 24-core (on-package)",
+			Arch:              "x86_64",
+			Cores:             24,
+			Sockets:           1,
+			MemGB:             128,
+			MemType:           "HBM3 (unified)",
+			SingleThreadScore: 0.85,
+		},
+		GPU: GPUSpec{
+			Name:            "CDNA3 (MI300A)",
+			PeakFP16TFLOPS:  760,
+			HBMGBps:         5300,
+			HBMGB:           128,
+			NullKernelNs:    1300.0,
+			ComputeEff:      0.40,
+			MemoryEff:       0.65,
+			ComputeSatFLOPs: 2.0e8,
+			MemorySatBytes:  1.5e6,
+			RowSatRows:      2048,
+		},
+		IC:                    Interconnect{Name: "Infinity Fabric (on-package)", BandwidthGBps: 1000, LatencyNs: 150},
+		UnifiedVirtualMemory:  true,
+		UnifiedPhysicalMemory: true,
+		LaunchOverheadNs:      2400.0,
+		LaunchCPUFraction:     0.62,
+		PowerW:                760,
+	}
+}
+
+// EvaluationPlatforms returns the paper's three Table IV systems, in the
+// order the figures present them.
+func EvaluationPlatforms() []*Platform {
+	return []*Platform{AMDA100(), IntelH100(), GH200()}
+}
+
+// ByName returns a fresh instance of the named platform.
+func ByName(name string) (*Platform, error) {
+	switch name {
+	case AMDA100Name:
+		return AMDA100(), nil
+	case IntelH100Name:
+		return IntelH100(), nil
+	case GH200Name:
+		return GH200(), nil
+	case MI300AName:
+		return MI300A(), nil
+	}
+	return nil, fmt.Errorf("hw: unknown platform %q (have %v)", name, PlatformNames())
+}
+
+// PlatformNames lists all cataloged platforms, sorted.
+func PlatformNames() []string {
+	names := []string{AMDA100Name, IntelH100Name, GH200Name, MI300AName}
+	sort.Strings(names)
+	return names
+}

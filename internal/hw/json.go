@@ -1,0 +1,54 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the platform definition, so users can derive
+// custom systems from the catalog (what-if hardware: faster Grace,
+// wider NVLink, a hypothetical GB200) and feed them back to the CLI.
+func (p *Platform) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadPlatformJSON parses a platform definition and validates it.
+func ReadPlatformJSON(r io.Reader) (*Platform, error) {
+	var p Platform
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("hw: decoding platform JSON: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// SavePlatformFile writes the platform to a JSON file.
+func (p *Platform) SavePlatformFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hw: %w", err)
+	}
+	defer f.Close()
+	if err := p.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPlatformFile reads a platform definition from a JSON file.
+func LoadPlatformFile(path string) (*Platform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hw: %w", err)
+	}
+	defer f.Close()
+	return ReadPlatformJSON(f)
+}

@@ -1,0 +1,59 @@
+package hw
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPlatformJSONRoundTrip(t *testing.T) {
+	want := GH200()
+	var buf bytes.Buffer
+	if err := want.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlatformJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || got.LaunchOverheadNs != want.LaunchOverheadNs ||
+		got.GPU.HBMGBps != want.GPU.HBMGBps || got.CPU.SingleThreadScore != want.CPU.SingleThreadScore ||
+		got.Coupling != want.Coupling || got.UnifiedVirtualMemory != want.UnifiedVirtualMemory {
+		t.Errorf("round trip mismatch:\n want %+v\n got  %+v", want, got)
+	}
+}
+
+func TestPlatformFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "custom.json")
+	p := MI300A()
+	p.Name = "MI300A-custom"
+	p.GPU.HBMGBps = 6000
+	if err := p.SavePlatformFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlatformFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "MI300A-custom" || got.GPU.HBMGBps != 6000 {
+		t.Errorf("loaded %+v", got)
+	}
+	if _, err := LoadPlatformFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestReadPlatformJSONValidates(t *testing.T) {
+	// A platform that parses but fails validation must be rejected.
+	bad := `{"Name":"broken","CPU":{"SingleThreadScore":0},"GPU":{"PeakFP16TFLOPS":1,"HBMGBps":1},"IC":{"BandwidthGBps":1},"LaunchOverheadNs":1,"LaunchCPUFraction":0.5}`
+	if _, err := ReadPlatformJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid platform should fail validation")
+	}
+	if _, err := ReadPlatformJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadPlatformJSON(strings.NewReader(`{"Nome":"typo"}`)); err == nil {
+		t.Error("unknown fields should fail (catches schema typos)")
+	}
+}

@@ -1,0 +1,283 @@
+// Package models defines the benchmarked LLM architectures (paper
+// Table III plus the 7B/2B models of Table I and Figs. 3/5) and builds
+// their eager-mode prefill operator graphs, mirroring the ATen operator
+// and kernel sequences HuggingFace transformers produce under PyTorch
+// eager execution.
+package models
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind distinguishes the two transformer families the paper evaluates.
+type Kind int
+
+const (
+	// Encoder is an encoder-only model (BERT family): a single forward
+	// pass, no causal mask, pooler head.
+	Encoder Kind = iota
+	// Decoder is a decoder-only model (GPT/Llama family): causal
+	// attention and an LM head; prefill produces the first token (TTFT).
+	Decoder
+)
+
+func (k Kind) String() string {
+	if k == Encoder {
+		return "encoder-only"
+	}
+	return "decoder-only"
+}
+
+// Activation selects the MLP nonlinearity, which determines the eager
+// kernel decomposition (GPT-2's tanh GELU explodes into 7 kernels).
+type Activation int
+
+const (
+	// GELUExact is a single fused aten::gelu kernel (BERT, XLM-R).
+	GELUExact Activation = iota
+	// GELUNew is GPT-2's tanh approximation, 7 eager pointwise kernels.
+	GELUNew
+	// SiLUGate is the Llama/Mistral gated silu·mul pair.
+	SiLUGate
+	// GELUGate is Gemma's gated gelu·mul pair.
+	GELUGate
+)
+
+// Norm selects the normalization flavor.
+type Norm int
+
+const (
+	// LayerNorm (BERT, GPT-2): one kernel.
+	LayerNorm Norm = iota
+	// RMSNorm (Llama family): two eager kernels.
+	RMSNorm
+)
+
+// Position selects the positional encoding scheme.
+type Position int
+
+const (
+	// Learned position embeddings (BERT, GPT-2): an extra gather + add.
+	Learned Position = iota
+	// RoPE rotary embeddings (Llama family): per-layer q/k rotation
+	// kernels.
+	RoPE
+)
+
+// Config describes one model architecture.
+type Config struct {
+	Name         string // catalog key, e.g. "gpt2"
+	HFName       string // HuggingFace hub id
+	Kind         Kind
+	Layers       int64
+	Hidden       int64
+	Heads        int64
+	KVHeads      int64 // < Heads means grouped-query attention
+	Intermediate int64
+	Vocab        int64
+	MaxSeq       int64
+	Activation   Activation
+	Norm         Norm
+	Position     Position
+	// TiedEmbeddings: LM head shares the embedding matrix (true for
+	// GPT-2, Gemma, Llama-3.2-1B).
+	TiedEmbeddings bool
+}
+
+// HeadDim returns the per-head dimension.
+func (c *Config) HeadDim() int64 { return c.Hidden / c.Heads }
+
+// KVDim returns the total key/value projection width (GQA-aware).
+func (c *Config) KVDim() int64 { return c.KVHeads * c.HeadDim() }
+
+// Params estimates the parameter count from the architecture.
+func (c *Config) Params() int64 {
+	h, l, i, v := c.Hidden, c.Layers, c.Intermediate, c.Vocab
+	attn := h*h + 2*h*c.KVDim() + h*h // q, k, v, o
+	var mlp int64
+	switch c.Activation {
+	case SiLUGate, GELUGate:
+		mlp = 3 * h * i // gate, up, down
+	default:
+		mlp = 2 * h * i // in, out
+	}
+	norms := 2 * h // two norms per layer (scale params; bias negligible)
+	perLayer := attn + mlp + norms
+	emb := v * h
+	if c.Position == Learned {
+		emb += c.MaxSeq * h
+	}
+	head := int64(0)
+	if c.Kind == Decoder && !c.TiedEmbeddings {
+		head = v * h
+	}
+	if c.Kind == Encoder {
+		head = h*h + h // pooler
+	}
+	return l*perLayer + emb + head
+}
+
+// ParamsBillion renders Params in billions.
+func (c *Config) ParamsBillion() float64 {
+	return float64(c.Params()) / 1e9
+}
+
+// String renders a one-line summary.
+func (c *Config) String() string {
+	return fmt.Sprintf("%s (%s, %dL, %dH, %.2fB params)",
+		c.Name, c.Kind, c.Layers, c.Hidden, c.ParamsBillion())
+}
+
+// Validate checks architectural sanity.
+func (c *Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("models: config has no name")
+	case c.Layers <= 0 || c.Hidden <= 0 || c.Heads <= 0 || c.Vocab <= 0:
+		return fmt.Errorf("models: %s: non-positive dimension", c.Name)
+	case c.Hidden%c.Heads != 0:
+		return fmt.Errorf("models: %s: hidden %d not divisible by heads %d", c.Name, c.Hidden, c.Heads)
+	case c.KVHeads <= 0 || c.Heads%c.KVHeads != 0:
+		return fmt.Errorf("models: %s: heads %d not divisible by kv heads %d", c.Name, c.Heads, c.KVHeads)
+	}
+	return nil
+}
+
+// The paper's Table III benchmark workloads.
+
+// BertBaseUncased returns google-bert/bert-base-uncased (110M).
+func BertBaseUncased() *Config {
+	return &Config{
+		Name: "bert-base-uncased", HFName: "google-bert/bert-base-uncased",
+		Kind: Encoder, Layers: 12, Hidden: 768, Heads: 12, KVHeads: 12,
+		Intermediate: 3072, Vocab: 30522, MaxSeq: 512,
+		Activation: GELUExact, Norm: LayerNorm, Position: Learned,
+	}
+}
+
+// XLMRobertaBase returns FacebookAI/xlm-roberta-base (279M).
+func XLMRobertaBase() *Config {
+	return &Config{
+		Name: "xlm-roberta-base", HFName: "FacebookAI/xlm-roberta-base",
+		Kind: Encoder, Layers: 12, Hidden: 768, Heads: 12, KVHeads: 12,
+		Intermediate: 3072, Vocab: 250002, MaxSeq: 514,
+		Activation: GELUExact, Norm: LayerNorm, Position: Learned,
+	}
+}
+
+// GPT2 returns openai-community/gpt2 (137M).
+func GPT2() *Config {
+	return &Config{
+		Name: "gpt2", HFName: "openai-community/gpt2",
+		Kind: Decoder, Layers: 12, Hidden: 768, Heads: 12, KVHeads: 12,
+		Intermediate: 3072, Vocab: 50257, MaxSeq: 1024,
+		Activation: GELUNew, Norm: LayerNorm, Position: Learned,
+		TiedEmbeddings: true,
+	}
+}
+
+// Llama32_1B returns meta-llama/Llama-3.2-1B (1.24B).
+func Llama32_1B() *Config {
+	return &Config{
+		Name: "llama-3.2-1B", HFName: "meta-llama/Llama-3.2-1B",
+		Kind: Decoder, Layers: 16, Hidden: 2048, Heads: 32, KVHeads: 8,
+		Intermediate: 8192, Vocab: 128256, MaxSeq: 131072,
+		Activation: SiLUGate, Norm: RMSNorm, Position: RoPE,
+		TiedEmbeddings: true,
+	}
+}
+
+// The Table I / Fig. 3 / Fig. 5 kernel-fusion study models.
+
+// Gemma2B returns google/gemma-2b (Table I).
+func Gemma2B() *Config {
+	return &Config{
+		Name: "gemma-2b", HFName: "google/gemma-2b",
+		Kind: Decoder, Layers: 18, Hidden: 2048, Heads: 8, KVHeads: 1,
+		Intermediate: 16384, Vocab: 256000, MaxSeq: 8192,
+		Activation: GELUGate, Norm: RMSNorm, Position: RoPE,
+		TiedEmbeddings: true,
+	}
+}
+
+// Gemma7B returns google/gemma-7b (Fig. 3/5).
+func Gemma7B() *Config {
+	return &Config{
+		Name: "gemma-7b", HFName: "google/gemma-7b",
+		Kind: Decoder, Layers: 28, Hidden: 3072, Heads: 16, KVHeads: 16,
+		Intermediate: 24576, Vocab: 256000, MaxSeq: 8192,
+		Activation: GELUGate, Norm: RMSNorm, Position: RoPE,
+		TiedEmbeddings: true,
+	}
+}
+
+// Llama27B returns meta-llama/Llama-2-7b (Fig. 3/5).
+func Llama27B() *Config {
+	return &Config{
+		Name: "llama2-7b", HFName: "meta-llama/Llama-2-7b-hf",
+		Kind: Decoder, Layers: 32, Hidden: 4096, Heads: 32, KVHeads: 32,
+		Intermediate: 11008, Vocab: 32000, MaxSeq: 4096,
+		Activation: SiLUGate, Norm: RMSNorm, Position: RoPE,
+	}
+}
+
+// Mistral7B returns mistralai/Mistral-7B-v0.1 (Fig. 3/5).
+func Mistral7B() *Config {
+	return &Config{
+		Name: "mistral-7b", HFName: "mistralai/Mistral-7B-v0.1",
+		Kind: Decoder, Layers: 32, Hidden: 4096, Heads: 32, KVHeads: 8,
+		Intermediate: 14336, Vocab: 32000, MaxSeq: 32768,
+		Activation: SiLUGate, Norm: RMSNorm, Position: RoPE,
+	}
+}
+
+// TableIIIModels returns the paper's four benchmark workloads in table
+// order.
+func TableIIIModels() []*Config {
+	return []*Config{BertBaseUncased(), XLMRobertaBase(), GPT2(), Llama32_1B()}
+}
+
+// FusionStudyModels returns the three 7B models of Figs. 3 and 5.
+func FusionStudyModels() []*Config {
+	return []*Config{Gemma7B(), Llama27B(), Mistral7B()}
+}
+
+// ByName looks up a model config.
+func ByName(name string) (*Config, error) {
+	for _, c := range allModels() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("models: unknown model %q (have %v)", name, ModelNames())
+}
+
+// ModelNames lists the catalog, sorted.
+func ModelNames() []string {
+	var names []string
+	for _, c := range allModels() {
+		names = append(names, c.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func allModels() []*Config {
+	return []*Config{
+		BertBaseUncased(), XLMRobertaBase(), GPT2(), Llama32_1B(),
+		Gemma2B(), Gemma7B(), Llama27B(), Mistral7B(),
+	}
+}
+
+// batchMaskKernels models the attention-mask preprocessing kernels whose
+// count grows mildly with batch size in real HF pipelines (mask
+// broadcast/expansion work); the paper's Fig. 7d shows eager launch
+// counts creeping up with batch. Per layer.
+func batchMaskKernels(batch int64) int {
+	if batch <= 1 {
+		return 0
+	}
+	return 2 * int(math.Ceil(math.Log2(float64(batch+1))))
+}

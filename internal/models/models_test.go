@@ -1,0 +1,261 @@
+package models
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/skipsim/skip/internal/ops"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	for _, c := range allModels() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestTableIIIParameterCounts(t *testing.T) {
+	// Table III reports: Bert 110M, XLM-R 279M, GPT2 137M, Llama 1.24B.
+	cases := []struct {
+		cfg      *Config
+		paramsB  float64
+		tolerate float64
+	}{
+		{BertBaseUncased(), 0.110, 0.15},
+		{XLMRobertaBase(), 0.279, 0.15},
+		{GPT2(), 0.137, 0.15},
+		{Llama32_1B(), 1.24, 0.10},
+		{Gemma7B(), 8.5, 0.15},
+		{Llama27B(), 6.7, 0.10},
+		{Mistral7B(), 7.2, 0.10},
+	}
+	for _, c := range cases {
+		got := c.cfg.ParamsBillion()
+		lo, hi := c.paramsB*(1-c.tolerate), c.paramsB*(1+c.tolerate)
+		if got < lo || got > hi {
+			t.Errorf("%s params = %.3fB, want %.3fB ±%.0f%%", c.cfg.Name, got, c.paramsB, c.tolerate*100)
+		}
+	}
+}
+
+func TestHeadDimAndKV(t *testing.T) {
+	llama := Llama32_1B()
+	if llama.HeadDim() != 64 {
+		t.Errorf("HeadDim = %d, want 64", llama.HeadDim())
+	}
+	if llama.KVDim() != 512 {
+		t.Errorf("KVDim = %d, want 512 (GQA 8 heads × 64)", llama.KVDim())
+	}
+	bert := BertBaseUncased()
+	if bert.KVDim() != bert.Hidden {
+		t.Error("MHA models have full KV width")
+	}
+}
+
+func TestEagerKernelCountsNearPaper(t *testing.T) {
+	// Fig. 7d anchors at BS=1: GPT-2 403 launches, XLM-R 251.
+	cases := []struct {
+		cfg  *Config
+		want int
+		tol  float64
+	}{
+		{GPT2(), 403, 0.06},
+		{XLMRobertaBase(), 251, 0.06},
+	}
+	for _, c := range cases {
+		g, err := BuildPrefill(c.cfg, 1, 512, AttnEager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(g.KernelCount())
+		lo, hi := float64(c.want)*(1-c.tol), float64(c.want)*(1+c.tol)
+		if got < lo || got > hi {
+			t.Errorf("%s eager kernels = %.0f, want %d ±%.0f%%", c.cfg.Name, got, c.want, c.tol*100)
+		}
+	}
+}
+
+func TestKernelCountGrowsMildlyWithBatch(t *testing.T) {
+	// Fig. 7d: eager launches creep up with batch size.
+	g1, _ := BuildPrefill(GPT2(), 1, 512, AttnEager)
+	g2, _ := BuildPrefill(GPT2(), 2, 512, AttnEager)
+	g4, _ := BuildPrefill(GPT2(), 4, 512, AttnEager)
+	k1, k2, k4 := g1.KernelCount(), g2.KernelCount(), g4.KernelCount()
+	if !(k1 < k2 && k2 < k4) {
+		t.Errorf("kernel counts should grow: %d, %d, %d", k1, k2, k4)
+	}
+	if k4 > k1*12/10 {
+		t.Errorf("growth should be mild: %d → %d", k1, k4)
+	}
+}
+
+func TestFlashCutsKernels(t *testing.T) {
+	for _, cfg := range allModels() {
+		eager, err := BuildPrefill(cfg, 1, 512, AttnEager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flash, err := BuildPrefill(cfg, 1, 512, AttnFlash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flash.KernelCount() >= eager.KernelCount() {
+			t.Errorf("%s: flash (%d) must launch fewer kernels than eager (%d)",
+				cfg.Name, flash.KernelCount(), eager.KernelCount())
+		}
+		// FLOPs roughly conserved: attention math unchanged.
+		fe, ff := eager.TotalCost().FLOPs, flash.TotalCost().FLOPs
+		if ff < fe*0.85 || ff > fe*1.05 {
+			t.Errorf("%s: flash FLOPs %.3g vs eager %.3g", cfg.Name, ff, fe)
+		}
+		// Memory traffic strictly lower: no score materialization.
+		if flash.TotalCost().Bytes() >= eager.TotalCost().Bytes() {
+			t.Errorf("%s: flash bytes must shrink", cfg.Name)
+		}
+	}
+}
+
+func TestGPT2LaunchesMoreThanBert(t *testing.T) {
+	// The paper's GPT-2 kernel count exceeds BERT's despite equal layer
+	// counts — the tanh-GELU decomposition and masking dance.
+	bert, _ := BuildPrefill(BertBaseUncased(), 1, 512, AttnEager)
+	gpt2, _ := BuildPrefill(GPT2(), 1, 512, AttnEager)
+	if gpt2.KernelCount() <= bert.KernelCount() {
+		t.Errorf("gpt2 (%d) should out-launch bert (%d)", gpt2.KernelCount(), bert.KernelCount())
+	}
+}
+
+func TestDecoderHasLMHeadGemm(t *testing.T) {
+	g, _ := BuildPrefill(Llama32_1B(), 1, 512, AttnEager)
+	found := false
+	for _, k := range g.FlattenKernels() {
+		if strings.Contains(k.Name, "lm_head") && k.Class == ops.ClassGemm {
+			found = true
+			// The LM head GEMM over a 128k vocab dominates FLOPs.
+			if k.Cost.FLOPs < 1e11 {
+				t.Errorf("lm_head FLOPs = %g, suspiciously small", k.Cost.FLOPs)
+			}
+		}
+	}
+	if !found {
+		t.Error("decoder graph lacks lm_head GEMM")
+	}
+}
+
+func TestEncoderHasPoolerNoLMHead(t *testing.T) {
+	g, _ := BuildPrefill(BertBaseUncased(), 1, 512, AttnEager)
+	var pooler, lmHead bool
+	for _, k := range g.FlattenKernels() {
+		if strings.Contains(k.Name, "pooler") {
+			pooler = true
+		}
+		if strings.Contains(k.Name, "lm_head") {
+			lmHead = true
+		}
+	}
+	if !pooler || lmHead {
+		t.Errorf("encoder head wrong: pooler=%v lmHead=%v", pooler, lmHead)
+	}
+}
+
+func TestBuildPrefillRejectsBadArgs(t *testing.T) {
+	c := GPT2()
+	if _, err := BuildPrefill(c, 0, 512, AttnEager); err == nil {
+		t.Error("batch 0 should fail")
+	}
+	if _, err := BuildPrefill(c, 1, 0, AttnEager); err == nil {
+		t.Error("seq 0 should fail")
+	}
+	if _, err := BuildPrefill(c, 1, 99999, AttnEager); err == nil {
+		t.Error("seq beyond MaxSeq should fail")
+	}
+	bad := *c
+	bad.Heads = 7 // does not divide hidden
+	if _, err := BuildPrefill(&bad, 1, 512, AttnEager); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestByNameAndModelNames(t *testing.T) {
+	for _, name := range ModelNames() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if c.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, c.Name)
+		}
+	}
+	if _, err := ByName("gpt5"); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if len(TableIIIModels()) != 4 {
+		t.Error("Table III has 4 workloads")
+	}
+	if len(FusionStudyModels()) != 3 {
+		t.Error("fusion study has 3 models")
+	}
+}
+
+func TestFLOPsScaleLinearlyWithBatch(t *testing.T) {
+	f := func(bs uint8) bool {
+		b := int64(bs%8) + 1
+		g1, err1 := BuildPrefill(GPT2(), 1, 128, AttnEager)
+		gb, err2 := BuildPrefill(GPT2(), b, 128, AttnEager)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Attention FLOPs are quadratic in seq but linear in batch; the
+		// whole graph is linear in batch.
+		ratio := gb.TotalCost().FLOPs / g1.TotalCost().FLOPs
+		return ratio > float64(b)*0.99 && ratio < float64(b)*1.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttentionFLOPsQuadraticInSeq(t *testing.T) {
+	g1, _ := BuildPrefill(BertBaseUncased(), 1, 128, AttnEager)
+	g2, _ := BuildPrefill(BertBaseUncased(), 1, 256, AttnEager)
+	// Doubling seq more than doubles FLOPs (attention quadratic term).
+	ratio := g2.TotalCost().FLOPs / g1.TotalCost().FLOPs
+	if ratio <= 2.0 {
+		t.Errorf("seq-doubling FLOP ratio = %.2f, want > 2 (quadratic attention)", ratio)
+	}
+}
+
+func TestKindAndEnumStrings(t *testing.T) {
+	if Encoder.String() != "encoder-only" || Decoder.String() != "decoder-only" {
+		t.Error("Kind strings")
+	}
+	if AttnEager.String() != "eager" || AttnFlash.String() != "flash_attention_2" {
+		t.Error("AttnImpl strings")
+	}
+	if !strings.Contains(GPT2().String(), "gpt2") {
+		t.Error("Config.String should include name")
+	}
+}
+
+func TestGraphNameEncodesRun(t *testing.T) {
+	g, _ := BuildPrefill(GPT2(), 4, 512, AttnFlash)
+	for _, part := range []string{"gpt2", "bs4", "sl512", "flash"} {
+		if !strings.Contains(g.Name, part) {
+			t.Errorf("graph name %q missing %q", g.Name, part)
+		}
+	}
+}
+
+func TestInputOutputBytes(t *testing.T) {
+	g, _ := BuildPrefill(Llama32_1B(), 2, 512, AttnEager)
+	if g.InputBytes <= 0 || g.OutputBytes <= 0 {
+		t.Error("graph IO volumes must be positive")
+	}
+	// Decoder output: next-token logits over vocab.
+	if want := float64(2 * 128256 * 2); g.OutputBytes != want {
+		t.Errorf("OutputBytes = %g, want %g", g.OutputBytes, want)
+	}
+}

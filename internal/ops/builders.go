@@ -1,0 +1,319 @@
+package ops
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/hw"
+)
+
+// The constructors below mirror the ATen operator structures PyTorch
+// eager mode produces for the building blocks of transformer inference.
+// Shape arguments follow the convention: b = batch, s = sequence length,
+// k/n = GEMM inner/outer dims, h = heads, hd = head dim.
+
+// Linear builds aten::linear over a (b·s × k) input and (k × n) weight:
+// the composite dispatches aten::t (a view) and aten::addmm, which
+// launches one shape-specialized GEMM kernel.
+func Linear(label string, b, s, k, n int64) *Node {
+	return &Node{
+		Name:  "aten::linear",
+		CPUNs: CPUComposite,
+		Children: []*Node{
+			{Name: "aten::t", CPUNs: CPUView},
+			{
+				Name:  "aten::addmm",
+				CPUNs: CPUKernelOp,
+				Kernels: []Kernel{{
+					Name:  fmt.Sprintf("gemm_f16_%s_%dx%d", label, k, n),
+					Class: ClassGemm,
+					Cost:  gemmCost(b, s, k, n),
+				}},
+			},
+		},
+	}
+}
+
+// Conv1D builds the transformers.Conv1D used by GPT-2 (a transposed
+// linear): aten::addmm directly under the module call.
+func Conv1D(label string, b, s, k, n int64) *Node {
+	return &Node{
+		Name:  "aten::addmm",
+		CPUNs: CPUKernelOp,
+		Kernels: []Kernel{{
+			Name:  fmt.Sprintf("gemm_f16_%s_%dx%d", label, k, n),
+			Class: ClassGemm,
+			Cost:  gemmCost(b, s, k, n),
+		}},
+	}
+}
+
+// BMM builds aten::matmul → aten::bmm over (batch × m × k)·(batch × k × n).
+func BMM(label string, batch, m, k, n int64) *Node {
+	return &Node{
+		Name:  "aten::matmul",
+		CPUNs: CPUComposite,
+		Children: []*Node{{
+			Name:  "aten::bmm",
+			CPUNs: CPUKernelOp,
+			Kernels: []Kernel{{
+				Name:  fmt.Sprintf("bmm_f16_%s_%dx%d", label, k, n),
+				Class: ClassGemm,
+				Cost:  bmmCost(batch, m, k, n),
+			}},
+		}},
+	}
+}
+
+// Softmax builds aten::softmax → aten::_softmax over scores of
+// (rows × cols): one warp-parallel reduction kernel reading and writing
+// the score matrix.
+func Softmax(label string, rows, cols int64) *Node {
+	_ = label // kernel symbols are functor-generic, as in real traces
+	elems := rows * cols
+	return &Node{
+		Name:  "aten::softmax",
+		CPUNs: CPUComposite,
+		Children: []*Node{{
+			Name:  "aten::_softmax",
+			CPUNs: CPUKernelOp,
+			Kernels: []Kernel{{
+				Name:  "softmax_warp_forward",
+				Class: ClassReduction,
+				// Online softmax: one read for max/sum, one read+write
+				// for normalization.
+				Cost: kcost(float64(elems)*5, float64(2*elems*elemSize), float64(elems*elemSize)),
+			}},
+		}},
+	}
+}
+
+// LayerNorm builds aten::layer_norm → aten::native_layer_norm: one
+// reduction kernel over (rows × hidden).
+func LayerNorm(label string, rows, hidden int64) *Node {
+	_ = label
+	elems := rows * hidden
+	return &Node{
+		Name:  "aten::layer_norm",
+		CPUNs: CPUComposite,
+		Children: []*Node{{
+			Name:  "aten::native_layer_norm",
+			CPUNs: CPUKernelOp,
+			Kernels: []Kernel{{
+				Name:  "vectorized_layer_norm_kernel",
+				Class: ClassReduction,
+				Cost:  kcost(float64(elems)*8, float64(2*elems*elemSize), float64(elems*elemSize)),
+			}},
+		}},
+	}
+}
+
+// RMSNorm builds the LlamaRMSNorm eager decomposition: pow/mean variance
+// reduction then the scaled multiply — two kernels, as HF traces show.
+func RMSNorm(label string, rows, hidden int64) *Node {
+	_ = label
+	elems := rows * hidden
+	return &Node{
+		Name:  "aten::rms_norm",
+		CPUNs: CPUComposite,
+		Children: []*Node{
+			{
+				Name:  "aten::mean",
+				CPUNs: CPUKernelOp,
+				Kernels: []Kernel{{
+					Name:  "reduce_variance_kernel",
+					Class: ClassReduction,
+					Cost:  kcost(float64(elems)*3, float64(elems*elemSize), float64(rows*4)),
+				}},
+			},
+			{
+				Name:  "aten::mul",
+				CPUNs: CPUPointwise,
+				Kernels: []Kernel{{
+					Name:  "rms_norm_scale_kernel",
+					Class: ClassElementwise,
+					Cost:  pointwiseCost(elems, 2, 2),
+				}},
+			},
+		},
+	}
+}
+
+// Pointwise builds a single-kernel elementwise op (aten::add, aten::mul,
+// aten::div, aten::tanh, …) over elems elements with ins input tensors.
+func Pointwise(aten, kernelLabel string, elems int64, ins int, flopsPerElem float64) *Node {
+	_ = kernelLabel
+	return &Node{
+		Name:  "aten::" + aten,
+		CPUNs: CPUPointwise,
+		Kernels: []Kernel{{
+			Name:  "elementwise_" + aten,
+			Class: ClassElementwise,
+			Cost:  pointwiseCost(elems, ins, flopsPerElem),
+		}},
+	}
+}
+
+// GELU builds aten::gelu (exact): one fused kernel.
+func GELU(label string, elems int64) *Node {
+	n := Pointwise("gelu", "gelu_"+label, elems, 1, 8)
+	n.Name = "aten::gelu"
+	return n
+}
+
+// NewGELU builds the GPT-2 "gelu_new" tanh approximation, which HF
+// computes with a chain of seven eager pointwise ops (pow, mul, add, mul,
+// tanh, add, mul) — the reason GPT-2 launches far more kernels per layer
+// than BERT.
+func NewGELU(label string, elems int64) *Node {
+	mk := func(aten, k string, ins int, fl float64) *Node {
+		return Pointwise(aten, k+"_"+label, elems, ins, fl)
+	}
+	return &Node{
+		Name:  "NewGELUActivation",
+		CPUNs: CPUComposite,
+		Children: []*Node{
+			mk("pow", "pow3", 1, 2),
+			mk("mul", "mul_c", 1, 1),
+			mk("add", "add_x", 2, 1),
+			mk("mul", "mul_s", 1, 1),
+			mk("tanh", "tanh", 1, 6),
+			mk("add", "add_1", 1, 1),
+			mk("mul", "mul_half", 2, 2),
+		},
+	}
+}
+
+// SiLUMul builds the Llama/Mistral gated MLP activation: aten::silu then
+// aten::mul over the intermediate activations.
+func SiLUMul(label string, elems int64) *Node {
+	return &Node{
+		Name:  "aten::silu_mul",
+		CPUNs: CPUComposite,
+		Children: []*Node{
+			Pointwise("silu", "silu_"+label, elems, 1, 5),
+			Pointwise("mul", "gate_mul_"+label, elems, 2, 1),
+		},
+	}
+}
+
+// Copy builds a layout-materializing op (contiguous after permute, split
+// with copy, cat): one copy kernel moving elems elements.
+func Copy(aten, label string, elems int64) *Node {
+	_ = label
+	return &Node{
+		Name:  "aten::" + aten,
+		CPUNs: CPUPointwise,
+		Kernels: []Kernel{{
+			Name:  copyKernelName(aten),
+			Class: ClassCopy,
+			Cost:  pointwiseCost(elems, 1, 0),
+		}},
+	}
+}
+
+// View builds a metadata-only op: host cost, no kernel.
+func View(aten string) *Node {
+	return &Node{Name: "aten::" + aten, CPUNs: CPUView}
+}
+
+// Embedding builds aten::embedding: an index gather of (rows × hidden)
+// from a (vocab × hidden) table.
+func Embedding(label string, rows, hidden int64) *Node {
+	_ = label
+	elems := rows * hidden
+	return &Node{
+		Name:  "aten::embedding",
+		CPUNs: CPUComposite,
+		Children: []*Node{{
+			Name:  "aten::index_select",
+			CPUNs: CPUKernelOp,
+			Kernels: []Kernel{{
+				Name:  fmt.Sprintf("embedding_gather_%s", label),
+				Class: ClassEmbedding,
+				Cost: kcost(0,
+					float64(elems*elemSize+rows*8), // table rows + int64 indices
+					float64(elems*elemSize)),
+			}},
+		}},
+	}
+}
+
+// RoPE builds the rotary position embedding application for one
+// projection (q or k): HF's eager rotate_half produces a cat plus two
+// muls and an add — modeled as two fused-ish kernels plus the cat copy,
+// matching observed kernel counts.
+func RoPE(label string, elems int64) *Node {
+	return &Node{
+		Name:  "apply_rotary_pos_emb",
+		CPUNs: CPUComposite,
+		Children: []*Node{
+			Copy("cat", "rope_rotate_"+label, elems),
+			Pointwise("mul", "rope_cos_"+label, elems, 2, 2),
+			Pointwise("add", "rope_add_"+label, elems, 2, 1),
+		},
+	}
+}
+
+// FlashAttention builds a fused scaled-dot-product attention: one kernel
+// computing softmax(QKᵀ/√d)·V without materializing the score matrix in
+// HBM (IO-aware, per FlashAttention-2). Kernel count and memory traffic
+// drop; FLOPs are conserved.
+func FlashAttention(label string, b, h, s, hd int64) *Node {
+	_ = label
+	qkFLOPs := 2 * float64(b*h) * float64(s) * float64(hd) * float64(s)
+	avFLOPs := qkFLOPs
+	softmaxFLOPs := 5 * float64(b*h*s*s)
+	qkvBytes := float64(3 * b * h * s * hd * elemSize)
+	outBytes := float64(b * h * s * hd * elemSize)
+	return &Node{
+		Name:  "aten::scaled_dot_product_attention",
+		CPUNs: CPUComposite,
+		Children: []*Node{{
+			Name:  "aten::_flash_attention_forward",
+			CPUNs: CPUKernelOp,
+			Kernels: []Kernel{{
+				Name:  "flash_fwd_kernel",
+				Class: ClassAttention,
+				Cost: kcost(qkFLOPs+avFLOPs+softmaxFLOPs,
+					qkvBytes, outBytes),
+			}},
+		}},
+	}
+}
+
+// kcost is shorthand for a KernelCost literal.
+func kcost(flops, read, write float64) hw.KernelCost {
+	return hw.KernelCost{FLOPs: flops, BytesRead: read, BytesWrite: write}
+}
+
+// copyKernelName maps layout ops to the shared copy kernel symbols real
+// PyTorch traces show: everything materializes through the same
+// direct-copy kernel except concatenation.
+func copyKernelName(aten string) string {
+	if aten == "cat" {
+		return "CatArrayBatchedCopy"
+	}
+	return "direct_copy_kernel"
+}
+
+// DecodeFlashAttention builds the single-token flash-decoding kernel: one
+// query row per head attends over a kvLen-deep cache. Entirely
+// memory-bound — the whole K/V cache streams through the SMs once.
+func DecodeFlashAttention(b, h, kvLen, hd int64) *Node {
+	flops := 4 * float64(b*h) * float64(kvLen) * float64(hd)
+	cacheBytes := float64(2 * b * h * kvLen * hd * elemSize)
+	outBytes := float64(b * h * hd * elemSize)
+	return &Node{
+		Name:  "aten::scaled_dot_product_attention",
+		CPUNs: CPUComposite,
+		Children: []*Node{{
+			Name:  "aten::_flash_attention_forward",
+			CPUNs: CPUKernelOp,
+			Kernels: []Kernel{{
+				Name:  "flash_fwd_splitkv_kernel",
+				Class: ClassAttention,
+				Cost:  kcost(flops, cacheBytes+outBytes, outBytes),
+			}},
+		}},
+	}
+}

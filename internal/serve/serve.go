@@ -1,0 +1,234 @@
+// Package serve simulates an inference server in front of the platform
+// simulator: requests arrive over time, a batching policy groups them,
+// and each batch executes with the engine's simulated prefill latency.
+// This operationalizes the paper's §II-A discussion — "batch size
+// selection profoundly impacts the user experience", large batches buy
+// throughput at the cost of individual latency, and serving systems
+// (Orca, vLLM) chase BS=1-like latency at high throughput — and its
+// contribution 5: operating inside the balanced batch region instead of
+// chasing GPU saturation.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// Request is one inference request arriving at the server.
+type Request struct {
+	ID      int
+	Arrival sim.Time
+}
+
+// Policy selects how the server forms batches.
+type Policy int
+
+const (
+	// StaticBatch waits until exactly BatchSize requests are queued (or
+	// MaxWait expires for a partial batch), then runs them together —
+	// the throughput-oriented configuration of the paper's large-batch
+	// discussion.
+	StaticBatch Policy = iota
+	// GreedyBatch takes whatever is queued (up to MaxBatch) the moment
+	// the device frees — the continuous-batching-style policy that
+	// approaches low-batch latency at low load and scales batches with
+	// pressure, in the spirit of vLLM/Orca.
+	GreedyBatch
+)
+
+func (p Policy) String() string {
+	if p == StaticBatch {
+		return "static"
+	}
+	return "greedy"
+}
+
+// Config parameterizes a serving simulation.
+type Config struct {
+	Platform *hw.Platform
+	Model    *models.Config
+	Seq      int64
+	Mode     engine.Mode
+	Policy   Policy
+	// BatchSize is the target batch for StaticBatch.
+	BatchSize int
+	// MaxBatch caps GreedyBatch group size.
+	MaxBatch int
+	// MaxWait bounds how long StaticBatch holds a partial batch.
+	MaxWait sim.Time
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Platform == nil || c.Model == nil:
+		return fmt.Errorf("serve: config needs a platform and a model")
+	case c.Seq <= 0:
+		return fmt.Errorf("serve: sequence length must be positive")
+	case c.Policy == StaticBatch && c.BatchSize <= 0:
+		return fmt.Errorf("serve: static policy needs a positive batch size")
+	case c.Policy == GreedyBatch && c.MaxBatch <= 0:
+		return fmt.Errorf("serve: greedy policy needs a positive max batch")
+	}
+	return nil
+}
+
+// Stats summarizes a serving simulation.
+type Stats struct {
+	Requests   int
+	Horizon    sim.Time // last completion time
+	MeanTTFT   sim.Time // arrival → batch completion, averaged
+	P50TTFT    sim.Time
+	P95TTFT    sim.Time
+	MaxTTFT    sim.Time
+	Throughput float64 // requests per second over the horizon
+	// MeanBatch is the average executed batch size — where on the
+	// latency/throughput curve the policy actually operated.
+	MeanBatch float64
+	Batches   int
+}
+
+// latencyModel caches per-batch-size prefill latency from the engine:
+// the serving layer treats the device as busy for TTFT(batch) per batch.
+type latencyModel struct {
+	cfg   *Config
+	cache map[int]sim.Time
+}
+
+func (lm *latencyModel) ttft(batch int) (sim.Time, error) {
+	if t, ok := lm.cache[batch]; ok {
+		return t, nil
+	}
+	res, err := engine.Run(engine.Request{
+		Platform: lm.cfg.Platform, Model: lm.cfg.Model,
+		Batch: int64(batch), Seq: lm.cfg.Seq, Mode: lm.cfg.Mode,
+	})
+	if err != nil {
+		return 0, err
+	}
+	lm.cache[batch] = res.TTFT
+	return res.TTFT, nil
+}
+
+// Simulate runs the server over the request stream (sorted by arrival)
+// and returns latency statistics. The simulation is a deterministic
+// event walk: the device serves one batch at a time (the single-stream
+// regime the paper profiles).
+func Simulate(cfg Config, requests []Request) (*Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(requests) == 0 {
+		return nil, fmt.Errorf("serve: no requests")
+	}
+	reqs := make([]Request, len(requests))
+	copy(reqs, requests)
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+
+	lm := &latencyModel{cfg: &cfg, cache: make(map[int]sim.Time)}
+	stats := &Stats{Requests: len(reqs)}
+	latencies := make([]sim.Time, 0, len(reqs))
+
+	var deviceFree sim.Time
+	var totalBatch int
+	next := 0
+	for next < len(reqs) {
+		// The server considers the queue when the device frees or when
+		// enough requests have arrived.
+		now := sim.MaxTime(deviceFree, reqs[next].Arrival)
+
+		var batch int
+		switch cfg.Policy {
+		case StaticBatch:
+			// Wait for BatchSize arrivals or the wait bound.
+			want := cfg.BatchSize
+			if next+want > len(reqs) {
+				want = len(reqs) - next
+			}
+			fullAt := reqs[next+want-1].Arrival
+			deadline := reqs[next].Arrival + cfg.MaxWait
+			start := sim.MaxTime(now, fullAt)
+			if cfg.MaxWait > 0 && deadline < start {
+				// Dispatch a partial batch at the deadline: count the
+				// arrivals available by then.
+				start = sim.MaxTime(now, deadline)
+				batch = 0
+				for next+batch < len(reqs) && reqs[next+batch].Arrival <= start && batch < cfg.BatchSize {
+					batch++
+				}
+				if batch == 0 {
+					batch = 1
+					start = sim.MaxTime(now, reqs[next].Arrival)
+				}
+				now = start
+			} else {
+				batch = want
+				now = start
+			}
+		case GreedyBatch:
+			batch = 0
+			for next+batch < len(reqs) && reqs[next+batch].Arrival <= now && batch < cfg.MaxBatch {
+				batch++
+			}
+			if batch == 0 {
+				batch = 1
+				now = reqs[next].Arrival
+			}
+		}
+
+		dur, err := lm.ttft(batch)
+		if err != nil {
+			return nil, err
+		}
+		done := now + dur
+		for i := 0; i < batch; i++ {
+			latencies = append(latencies, done-reqs[next+i].Arrival)
+		}
+		next += batch
+		deviceFree = done
+		totalBatch += batch
+		stats.Batches++
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum sim.Time
+	for _, l := range latencies {
+		sum += l
+	}
+	stats.MeanTTFT = sum / sim.Time(len(latencies))
+	stats.P50TTFT = latencies[len(latencies)/2]
+	stats.P95TTFT = latencies[(len(latencies)*95)/100]
+	stats.MaxTTFT = latencies[len(latencies)-1]
+	stats.Horizon = deviceFree
+	stats.Throughput = float64(stats.Requests) / stats.Horizon.Seconds()
+	stats.MeanBatch = float64(totalBatch) / float64(stats.Batches)
+	return stats, nil
+}
+
+// PoissonArrivals generates n requests with exponential inter-arrival
+// times at the given rate (requests/second), deterministically from the
+// seed.
+func PoissonArrivals(n int, ratePerSec float64, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	var t float64 // seconds
+	for i := range reqs {
+		t += rng.ExpFloat64() / ratePerSec
+		reqs[i] = Request{ID: i, Arrival: sim.Time(t * 1e9)}
+	}
+	return reqs
+}
+
+// UniformArrivals generates n requests at a fixed interval.
+func UniformArrivals(n int, interval sim.Time) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, Arrival: sim.Time(i) * interval}
+	}
+	return reqs
+}

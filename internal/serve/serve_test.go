@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+func baseConfig(policy Policy) Config {
+	return Config{
+		Platform:  hw.GH200(),
+		Model:     models.BertBaseUncased(),
+		Seq:       512,
+		Mode:      engine.Eager,
+		Policy:    policy,
+		BatchSize: 8,
+		MaxBatch:  32,
+		MaxWait:   50 * sim.Millisecond,
+	}
+}
+
+func TestSimulateGreedyBasics(t *testing.T) {
+	reqs := UniformArrivals(40, 5*sim.Millisecond)
+	stats, err := Simulate(baseConfig(GreedyBatch), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 40 || stats.Batches == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.P50TTFT <= 0 || stats.P95TTFT < stats.P50TTFT || stats.MaxTTFT < stats.P95TTFT {
+		t.Errorf("latency ordering broken: %+v", stats)
+	}
+	if stats.Throughput <= 0 || stats.MeanBatch < 1 {
+		t.Errorf("throughput/batch: %+v", stats)
+	}
+}
+
+func TestGreedyBatchesGrowUnderLoad(t *testing.T) {
+	cfg := baseConfig(GreedyBatch)
+	light, err := Simulate(cfg, UniformArrivals(30, 40*sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Simulate(cfg, UniformArrivals(30, 1*sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light.MeanBatch >= heavy.MeanBatch {
+		t.Errorf("mean batch should grow with load: light %.1f vs heavy %.1f",
+			light.MeanBatch, heavy.MeanBatch)
+	}
+	// Under light load greedy behaves like BS=1: batches of one.
+	if light.MeanBatch > 1.5 {
+		t.Errorf("light-load mean batch = %.1f, want ≈1", light.MeanBatch)
+	}
+}
+
+func TestStaticLargeBatchHurtsLatencyAtLowLoad(t *testing.T) {
+	// The paper's point: forcing large batches for throughput inflates
+	// individual TTFT when traffic is light.
+	reqs := UniformArrivals(32, 20*sim.Millisecond)
+	greedy, err := Simulate(baseConfig(GreedyBatch), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticCfg := baseConfig(StaticBatch)
+	staticCfg.BatchSize = 16
+	staticCfg.MaxWait = 500 * sim.Millisecond
+	static, err := Simulate(staticCfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.P95TTFT <= greedy.P95TTFT {
+		t.Errorf("static-16 P95 (%v) should exceed greedy P95 (%v) at low load",
+			static.P95TTFT, greedy.P95TTFT)
+	}
+}
+
+func TestStaticBatchingImprovesThroughputUnderPressure(t *testing.T) {
+	// Saturating arrival rate: batching amortizes the launch tax, so
+	// larger static batches finish the backlog sooner.
+	reqs := UniformArrivals(64, 100*sim.Microsecond)
+	small := baseConfig(StaticBatch)
+	small.BatchSize = 1
+	big := baseConfig(StaticBatch)
+	big.BatchSize = 32
+	s1, err := Simulate(small, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32, err := Simulate(big, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s32.Throughput <= s1.Throughput {
+		t.Errorf("BS=32 throughput (%.1f/s) should beat BS=1 (%.1f/s) under pressure",
+			s32.Throughput, s1.Throughput)
+	}
+}
+
+func TestStaticMaxWaitDispatchesPartialBatches(t *testing.T) {
+	cfg := baseConfig(StaticBatch)
+	cfg.BatchSize = 8
+	cfg.MaxWait = 2 * sim.Millisecond
+	// Only 3 requests ever arrive: the wait bound must flush them.
+	reqs := UniformArrivals(3, 1*sim.Millisecond)
+	stats, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 3 {
+		t.Fatalf("served %d", stats.Requests)
+	}
+	if stats.MeanBatch > 3 {
+		t.Errorf("mean batch = %.1f", stats.MeanBatch)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{}, UniformArrivals(1, 1)); err == nil {
+		t.Error("empty config should fail")
+	}
+	cfg := baseConfig(GreedyBatch)
+	if _, err := Simulate(cfg, nil); err == nil {
+		t.Error("no requests should fail")
+	}
+	cfg.MaxBatch = 0
+	if _, err := Simulate(cfg, UniformArrivals(1, 1)); err == nil {
+		t.Error("greedy without MaxBatch should fail")
+	}
+	cfg = baseConfig(StaticBatch)
+	cfg.BatchSize = 0
+	if _, err := Simulate(cfg, UniformArrivals(1, 1)); err == nil {
+		t.Error("static without BatchSize should fail")
+	}
+	cfg = baseConfig(GreedyBatch)
+	cfg.Seq = 0
+	if _, err := Simulate(cfg, UniformArrivals(1, 1)); err == nil {
+		t.Error("zero seq should fail")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	a := PoissonArrivals(100, 50, 42)
+	b := PoissonArrivals(100, 50, 42)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival {
+			t.Fatal("same seed must reproduce the same stream")
+		}
+		if i > 0 && a[i].Arrival <= a[i-1].Arrival {
+			t.Fatal("arrivals must strictly increase")
+		}
+	}
+	// Mean inter-arrival ≈ 1/rate = 20ms (loose bound over 100 draws).
+	mean := a[len(a)-1].Arrival.Seconds() / 100
+	if mean < 0.010 || mean > 0.035 {
+		t.Errorf("mean inter-arrival = %.4fs, want ≈0.02", mean)
+	}
+}
+
+// Property: every request's latency is at least the batch-1 service time
+// floor... more precisely positive, and conservation holds: served
+// count equals offered count for any arrival pattern.
+func TestSimulateConservation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		count := int(n%20) + 1
+		reqs := PoissonArrivals(count, 200, seed)
+		stats, err := Simulate(baseConfig(GreedyBatch), reqs)
+		if err != nil {
+			return false
+		}
+		return stats.Requests == count && stats.MeanTTFT > 0 && stats.MeanBatch >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

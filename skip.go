@@ -1,0 +1,265 @@
+// Package skip is the public API of SKIP-Sim: a simulator-backed
+// reproduction of "Characterizing and Optimizing LLM Inference Workloads
+// on CPU-GPU Coupled Architectures" (ISPASS 2025).
+//
+// The package exposes four layers:
+//
+//   - Platforms and Models: the paper's evaluation hardware (Table IV)
+//     and LLM workloads (Table III + the fusion-study models).
+//   - Run: execute a simulated inference (eager / FlashAttention /
+//     torch.compile modes) and obtain timings plus a PyTorch-Profiler
+//     style trace.
+//   - Profile / Classify: SKIP's trace analysis — operator→kernel
+//     dependency graphs, TKLQT/AKD/IL metrics, CPU-vs-GPU boundedness,
+//     transition and crossover detection.
+//   - RecommendFusion: the proximity-score kernel-fusion recommender.
+//
+// Quick start:
+//
+//	res, err := skip.Run(skip.GH200, "llama-3.2-1B", 1, 512, skip.ModeEager)
+//	metrics, _, err := skip.Profile(res.Trace)
+//	fmt.Println(metrics.TKLQT, skip.ClassifyRun(metrics))
+package skip
+
+import (
+	"github.com/skipsim/skip/internal/bench"
+	"github.com/skipsim/skip/internal/core"
+	"github.com/skipsim/skip/internal/cuda"
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/fusion"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+	"github.com/skipsim/skip/internal/trace"
+)
+
+// Core aliases: the public names for the library's central types.
+type (
+	// Platform is a CPU-GPU coupled evaluation system.
+	Platform = hw.Platform
+	// Model is an LLM architecture description.
+	Model = models.Config
+	// Mode is a PyTorch execution mode.
+	Mode = engine.Mode
+	// Request is a fully-specified simulation request.
+	Request = engine.Request
+	// Result is a simulation outcome: timings plus trace.
+	Result = engine.Result
+	// Trace is a profiler trace in Chrome trace-event form.
+	Trace = trace.Trace
+	// Metrics are SKIP's per-run measurements (TKLQT, AKD, IL, …).
+	Metrics = core.Metrics
+	// DependencyGraph is the reconstructed operator→kernel graph.
+	DependencyGraph = core.Graph
+	// KernelStat is a per-kernel-symbol aggregate (top-k tracking).
+	KernelStat = core.KernelStat
+	// SeriesPoint is one batch-size sample of a sweep.
+	SeriesPoint = core.SeriesPoint
+	// Boundedness labels a run CPU-bound or GPU-bound.
+	Boundedness = core.Boundedness
+	// FusionReport is a chain-length sweep of fusion recommendations.
+	FusionReport = fusion.Report
+	// FusionAnalysis is the mining result at one chain length.
+	FusionAnalysis = fusion.Analysis
+	// Chain is one kernel-chain candidate with its proximity score.
+	Chain = fusion.Chain
+	// Experiment regenerates one paper table or figure.
+	Experiment = bench.Experiment
+	// ExperimentResult is an experiment's tables and checks.
+	ExperimentResult = bench.Result
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+)
+
+// Execution modes (paper §II-C).
+const (
+	ModeEager                 = engine.Eager
+	ModeFlashAttention        = engine.Flash
+	ModeCompileDefault        = engine.CompileDefault
+	ModeCompileReduceOverhead = engine.CompileReduceOverhead
+	ModeCompileMaxAutotune    = engine.CompileMaxAutotune
+)
+
+// Boundedness classes (paper §V-B, §V-D).
+const (
+	CPUBound = core.CPUBound
+	GPUBound = core.GPUBound
+	Balanced = core.Balanced
+)
+
+// Platform names (Table IV plus the future-work TC projection).
+const (
+	AMDA100   = hw.AMDA100Name
+	IntelH100 = hw.IntelH100Name
+	GH200     = hw.GH200Name
+	MI300A    = hw.MI300AName
+)
+
+// Platforms returns the paper's three evaluation platforms in figure
+// order (AMD+A100, Intel+H100, GH200).
+func Platforms() []*Platform { return hw.EvaluationPlatforms() }
+
+// PlatformByName returns a fresh instance of a cataloged platform.
+func PlatformByName(name string) (*Platform, error) { return hw.ByName(name) }
+
+// PlatformNames lists the platform catalog.
+func PlatformNames() []string { return hw.PlatformNames() }
+
+// Models returns the paper's Table III workloads.
+func Models() []*Model { return models.TableIIIModels() }
+
+// FusionStudyModels returns the 7B models of Figs. 3/5.
+func FusionStudyModels() []*Model { return models.FusionStudyModels() }
+
+// ModelByName returns a cataloged model config.
+func ModelByName(name string) (*Model, error) { return models.ByName(name) }
+
+// ModelNames lists the model catalog.
+func ModelNames() []string { return models.ModelNames() }
+
+// Run simulates one prefill inference of the named model on the named
+// platform and returns timings plus the profiler trace.
+func Run(platform, model string, batch, seq int64, mode Mode) (*Result, error) {
+	p, err := hw.ByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	m, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(Request{Platform: p, Model: m, Batch: batch, Seq: seq, Mode: mode})
+}
+
+// RunRequest simulates a fully-specified request (custom platforms or
+// model configs included).
+func RunRequest(req Request) (*Result, error) { return engine.Run(req) }
+
+// Profile analyzes a trace with SKIP: it reconstructs the
+// operator→kernel dependency graph and computes TKLQT, AKD, IL, idle
+// times, and launch-delay statistics.
+func Profile(tr *Trace) (*Metrics, *DependencyGraph, error) { return core.Analyze(tr) }
+
+// ClassifyRun labels a profiled run CPU-bound or GPU-bound (§V-B).
+func ClassifyRun(m *Metrics) Boundedness { return core.ClassifyRun(m) }
+
+// TransitionBatch finds the CPU→GPU-bound inflection of a TKLQT sweep.
+func TransitionBatch(series []SeriesPoint) (int64, error) { return core.TransitionBatch(series) }
+
+// Crossover finds the batch at which challenger's TTFT first beats
+// incumbent's.
+func Crossover(challenger, incumbent []SeriesPoint) (int64, error) {
+	return core.Crossover(challenger, incumbent)
+}
+
+// BalancedRegion returns the batch range where both PUs stay busy.
+func BalancedRegion(series []SeriesPoint, maxIdleFrac float64) (lo, hi int64, ok bool) {
+	return core.BalancedRegion(series, maxIdleFrac)
+}
+
+// KernelSequence extracts the executed kernel-name sequence of a trace.
+func KernelSequence(tr *Trace) []string { return fusion.KernelSequence(tr) }
+
+// RecommendFusion mines the trace's kernel sequence for fusion
+// candidates at the given chain lengths (nil for the paper's standard
+// lengths 2…512) and computes ideal launch-savings speedups (Eqs. 6-8).
+func RecommendFusion(tr *Trace, lengths []int) (*FusionReport, error) {
+	if lengths == nil {
+		lengths = fusion.StandardLengths()
+	}
+	return fusion.Sweep(fusion.KernelSequence(tr), lengths)
+}
+
+// NullKernelResult is the Table V microbenchmark outcome.
+type NullKernelResult = cuda.NullKernelResult
+
+// MeasureNullKernel reproduces the paper's §V-A launch-overhead
+// microbenchmark on a platform.
+func MeasureNullKernel(p *Platform, iterations int) NullKernelResult {
+	return cuda.MeasureNullKernel(p, iterations)
+}
+
+// Experiments returns every registered paper artifact regenerator, in
+// presentation order (tables, then figures, then extensions).
+func Experiments() []*Experiment { return bench.All() }
+
+// ExperimentByID returns one artifact regenerator ("table5", "fig6", …).
+func ExperimentByID(id string) (*Experiment, error) { return bench.ByID(id) }
+
+// GenerateResult reports an autoregressive generation run (prefill +
+// decode steps).
+type GenerateResult = engine.GenerateResult
+
+// RunGenerate simulates prefill plus newTokens decode iterations against
+// a growing KV cache (extension of the paper's prefill-only evaluation;
+// §II-A motivates the phase split).
+func RunGenerate(req Request, newTokens int) (*GenerateResult, error) {
+	return engine.RunGenerate(req, newTokens)
+}
+
+// FusionApplication selects how an applied fusion plan collapses work.
+type FusionApplication = engine.FusionApplication
+
+// Fusion application models (see engine documentation).
+const (
+	LaunchSavingsOnly = engine.LaunchSavingsOnly
+	FullRegionFusion  = engine.FullRegionFusion
+)
+
+// FusedRunResult reports an applied-fusion execution.
+type FusedRunResult = engine.FusedRunResult
+
+// RunFused executes an eager request with a proximity-score fusion plan
+// of the given chain length applied — the fusion prototype the paper
+// defers to future work (§VI).
+func RunFused(req Request, chainLen int, app FusionApplication) (*FusedRunResult, error) {
+	return engine.RunFused(req, chainLen, app)
+}
+
+// Attribution decomposes inference latency into CPU-only, GPU-only,
+// overlapped, and bubble phases.
+type Attribution = core.Attribution
+
+// Attribute computes the latency decomposition of a trace — a
+// finer-grained view of the paper's idle-time analysis (Figs. 10b/c).
+func Attribute(tr *Trace) (*Attribution, error) { return core.Attribute(tr) }
+
+// LoadPlatformFile reads a custom platform definition (JSON) for what-if
+// hardware studies; SavePlatformFile on a Platform writes one.
+func LoadPlatformFile(path string) (*Platform, error) { return hw.LoadPlatformFile(path) }
+
+// Serving-layer aliases: simulate an inference server with a batching
+// policy over the platform simulator (paper §II-A's latency/throughput
+// trade-off).
+type (
+	// ServeConfig parameterizes a serving simulation.
+	ServeConfig = serve.Config
+	// ServeStats summarizes request latencies and throughput.
+	ServeStats = serve.Stats
+	// ServeRequest is one arriving inference request.
+	ServeRequest = serve.Request
+	// ServePolicy selects the batching policy.
+	ServePolicy = serve.Policy
+)
+
+// Batching policies.
+const (
+	StaticBatch = serve.StaticBatch
+	GreedyBatch = serve.GreedyBatch
+)
+
+// Serve simulates an inference server over a request stream.
+func Serve(cfg ServeConfig, requests []ServeRequest) (*ServeStats, error) {
+	return serve.Simulate(cfg, requests)
+}
+
+// PoissonArrivals generates a deterministic Poisson request stream.
+func PoissonArrivals(n int, ratePerSec float64, seed int64) []ServeRequest {
+	return serve.PoissonArrivals(n, ratePerSec, seed)
+}
+
+// UniformArrivals generates a fixed-interval request stream.
+func UniformArrivals(n int, interval Time) []ServeRequest {
+	return serve.UniformArrivals(n, interval)
+}

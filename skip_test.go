@@ -1,0 +1,174 @@
+package skip_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	skip "github.com/skipsim/skip"
+	"github.com/skipsim/skip/internal/trace"
+)
+
+func TestPublicCatalogs(t *testing.T) {
+	if got := len(skip.Platforms()); got != 3 {
+		t.Errorf("Platforms = %d, want 3", got)
+	}
+	if got := len(skip.Models()); got != 4 {
+		t.Errorf("Models = %d, want 4 (Table III)", got)
+	}
+	if got := len(skip.FusionStudyModels()); got != 3 {
+		t.Errorf("FusionStudyModels = %d, want 3", got)
+	}
+	if len(skip.PlatformNames()) < 4 || len(skip.ModelNames()) < 8 {
+		t.Error("catalog names incomplete")
+	}
+	if _, err := skip.PlatformByName(skip.GH200); err != nil {
+		t.Error(err)
+	}
+	if _, err := skip.ModelByName("gpt2"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicRunProfilePipeline(t *testing.T) {
+	res, err := skip.Run(skip.GH200, "bert-base-uncased", 1, 512, skip.ModeEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, g, err := skip.Profile(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TKLQT <= 0 || m.AKD <= 0 || m.IL <= 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+	if skip.ClassifyRun(m) != skip.CPUBound {
+		t.Error("GH200 BS=1 bert should be CPU-bound")
+	}
+	top := g.TopKernels(5, 0)
+	if len(top) != 5 {
+		t.Errorf("TopKernels = %d", len(top))
+	}
+}
+
+func TestPublicRunRejectsUnknownNames(t *testing.T) {
+	if _, err := skip.Run("TPU", "gpt2", 1, 512, skip.ModeEager); err == nil {
+		t.Error("unknown platform should fail")
+	}
+	if _, err := skip.Run(skip.GH200, "gpt5", 1, 512, skip.ModeEager); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestPublicFusionRecommendation(t *testing.T) {
+	res, err := skip.Run(skip.IntelH100, "gpt2", 1, 512, skip.ModeEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := skip.RecommendFusion(res.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 9 {
+		t.Errorf("standard lengths rows = %d, want 9", len(rep.Rows))
+	}
+	best, err := rep.BestSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.IdealSpeedup < 2.0 {
+		t.Errorf("gpt2 best ideal speedup = %.2f, want >2 (paper: 2.7)", best.IdealSpeedup)
+	}
+	if got := len(skip.KernelSequence(res.Trace)); got != res.KernelCount {
+		t.Errorf("KernelSequence = %d, want %d", got, res.KernelCount)
+	}
+}
+
+func TestPublicNullKernel(t *testing.T) {
+	p, _ := skip.PlatformByName(skip.GH200)
+	r := skip.MeasureNullKernel(p, 10)
+	if r.LaunchOverheadNs < 2770 || r.LaunchOverheadNs > 2773 {
+		t.Errorf("launch overhead = %.1f", r.LaunchOverheadNs)
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	if got := len(skip.Experiments()); got < 12 {
+		t.Errorf("Experiments = %d, want ≥12", got)
+	}
+	e, err := skip.ExperimentByID("table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestTraceRoundTripThroughPublicAPI(t *testing.T) {
+	// Run → save → load → profile: the offline-analysis workflow.
+	res, err := skip.Run(skip.IntelH100, "gpt2", 2, 256, skip.ModeEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := res.Trace.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _, err := skip.Profile(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := skip.Profile(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.TKLQT != m2.TKLQT || m1.KernelCount != m2.KernelCount || m1.IL != m2.IL {
+		t.Errorf("metrics diverge across save/load: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestSweepHelpersThroughPublicAPI(t *testing.T) {
+	var gh, intel []skip.SeriesPoint
+	for _, bs := range []int64{1, 4, 16, 64} {
+		for _, tgt := range []struct {
+			plat string
+			dst  *[]skip.SeriesPoint
+		}{{skip.GH200, &gh}, {skip.IntelH100, &intel}} {
+			res, err := skip.Run(tgt.plat, "bert-base-uncased", bs, 512, skip.ModeEager)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, _, err := skip.Profile(res.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*tgt.dst = append(*tgt.dst, skip.SeriesPoint{Batch: bs, TKLQT: m.TKLQT, TTFT: res.TTFT, Metrics: m})
+		}
+	}
+	if _, err := skip.TransitionBatch(gh); err != nil {
+		t.Error(err)
+	}
+	cp, err := skip.Crossover(gh, intel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == 0 {
+		t.Error("GH200 should overtake Intel within BS≤64")
+	}
+	if _, _, ok := skip.BalancedRegion(gh, 0.6); !ok {
+		t.Error("no balanced region found at generous bound")
+	}
+}
