@@ -22,6 +22,7 @@ import (
 	"os"
 
 	skip "github.com/skipsim/skip"
+	"github.com/skipsim/skip/internal/sim"
 	"github.com/skipsim/skip/internal/trace"
 )
 
@@ -75,7 +76,9 @@ commands:
   classify     sweep batch sizes, print TKLQT series and the transition
   recommend    mine proximity-score fusion recommendations from a run
   generate     simulate prefill + autoregressive decode (TTFT, TPOT)
-  serve        simulate an inference server under a Poisson request load
+  serve        simulate an inference server under a request load
+               (-policy static|greedy|continuous|chunked-prefill,
+                -workload chat|agentic|summarize|mixed|fixed)
   microbench   nullKernel launch-overhead microbenchmark (Table V)`)
 }
 
@@ -388,12 +391,18 @@ func cmdGenerate(args []string) error {
 
 func cmdServe(args []string) error {
 	rf := newRunFlags("serve")
-	rate := rf.fs.Float64("rate", 100, "Poisson arrival rate (requests/second)")
-	n := rf.fs.Int("requests", 200, "number of requests to simulate")
-	policy := rf.fs.String("policy", "greedy", "batching policy: greedy|static")
-	maxBatch := rf.fs.Int("max-batch", 32, "greedy: maximum batch size")
+	rate := rf.fs.Float64("rate", 20, "Poisson arrival rate (requests/second)")
+	n := rf.fs.Int("requests", 60, "number of requests to simulate")
+	policyName := rf.fs.String("policy", "continuous", "batching policy: static|greedy|continuous|chunked-prefill")
+	workload := rf.fs.String("workload", "chat", "request stream: chat|agentic|summarize|mixed|fixed (fixed: -seq prompts, -out-tokens outputs)")
+	maxBatch := rf.fs.Int("max-batch", 32, "greedy/continuous: maximum (running) batch size")
 	staticBS := rf.fs.Int("static-batch", 8, "static: target batch size")
-	seed := rf.fs.Int64("seed", 1, "arrival stream seed")
+	outTokens := rf.fs.Int64("out-tokens", 64, "fixed workload: output tokens per request")
+	chunk := rf.fs.Int64("chunk", 512, "chunked-prefill: prefill chunk size (tokens)")
+	kvUtil := rf.fs.Float64("kv-util", 0.9, "fraction of GPU HBM for weights + KV cache")
+	sloMs := rf.fs.Float64("slo-ttft-ms", 0, "TTFT SLO for goodput accounting (0: off)")
+	abandonMs := rf.fs.Float64("abandon-ms", 0, "drop requests still queued after this long (0: never)")
+	seed := rf.fs.Int64("seed", 1, "workload stream seed")
 	if err := rf.fs.Parse(args); err != nil {
 		return err
 	}
@@ -409,27 +418,67 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := skip.ServeConfig{Platform: p, Model: m, Seq: *rf.seq, Mode: mode}
-	switch *policy {
-	case "greedy":
-		cfg.Policy = skip.GreedyBatch
-		cfg.MaxBatch = *maxBatch
-	case "static":
-		cfg.Policy = skip.StaticBatch
-		cfg.BatchSize = *staticBS
-		cfg.MaxWait = 100 * 1e6 // 100ms
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
-	}
-	stats, err := skip.Serve(cfg, skip.PoissonArrivals(*n, *rate, *seed))
+	policy, err := skip.ParseServePolicy(*policyName)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s / %s  policy=%s  offered %.0f req/s × %d requests\n",
-		p.Name, m.Name, cfg.Policy, *rate, *n)
-	fmt.Printf("  mean batch   %.1f over %d batches\n", stats.MeanBatch, stats.Batches)
-	fmt.Printf("  TTFT         mean %v  P50 %v  P95 %v  max %v\n",
-		stats.MeanTTFT, stats.P50TTFT, stats.P95TTFT, stats.MaxTTFT)
-	fmt.Printf("  throughput   %.1f req/s\n", stats.Throughput)
+	if *kvUtil <= 0 || *kvUtil > 1 {
+		return fmt.Errorf("-kv-util must be in (0,1], got %g", *kvUtil)
+	}
+	cfg := skip.ServeConfig{
+		Platform: p, Model: m, Seq: *rf.seq, Mode: mode, Policy: policy,
+		MaxBatch: *maxBatch, BatchSize: *staticBS, MaxWait: 100 * sim.Millisecond,
+		DefaultOutputLen: *outTokens, PrefillChunk: *chunk, KVMemoryUtil: *kvUtil,
+		TTFTSLO:      sim.Time(*sloMs * 1e6),
+		AbandonAfter: sim.Time(*abandonMs * 1e6),
+	}
+
+	var requests []skip.ServeRequest
+	if *workload == "fixed" {
+		requests, err = skip.PoissonArrivals(*n, *rate, *seed)
+	} else {
+		if policy == skip.StaticBatch || policy == skip.GreedyBatch {
+			return fmt.Errorf("policy %q is prefill-only and ignores per-request lengths; use -workload fixed with it", *policyName)
+		}
+		var scen skip.ServeScenario
+		scen, err = skip.ParseServeScenario(*workload)
+		if err != nil {
+			return err
+		}
+		requests, err = skip.GenerateWorkload(skip.ServeWorkload{
+			Scenario: scen, N: *n, RatePerSec: *rate, Seed: *seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	stats, err := skip.Serve(cfg, requests)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s / %s  policy=%s workload=%s  offered %.0f req/s × %d requests\n",
+		p.Name, m.Name, cfg.Policy, *workload, *rate, *n)
+	fmt.Printf("  mean batch   %.1f over %d iterations\n", stats.MeanBatch, stats.Batches)
+	fmt.Printf("  TTFT         mean %v  P50 %v  P95 %v  P99 %v  max %v\n",
+		stats.MeanTTFT, stats.P50TTFT, stats.P95TTFT, stats.P99TTFT, stats.MaxTTFT)
+	if policy == skip.ContinuousBatch || policy == skip.ChunkedPrefill {
+		fmt.Printf("  TPOT         mean %v  P50 %v  P95 %v\n",
+			stats.MeanTPOT, stats.P50TPOT, stats.P95TPOT)
+		fmt.Printf("  E2E          mean %v  P50 %v  P95 %v  max %v\n",
+			stats.MeanE2E, stats.P50E2E, stats.P95E2E, stats.MaxE2E)
+		fmt.Printf("  KV cache     peak %.1f%% of %.1f GB budget  (time-weighted mean %.1f%%)\n",
+			stats.PeakKVFrac*100, stats.KVCapacityBytes/1e9, stats.MeanKVFrac*100)
+		fmt.Printf("  tokens       %.0f tok/s\n", stats.TokensPerSec)
+		if stats.Preemptions > 0 || stats.Abandoned > 0 {
+			fmt.Printf("  pressure     %d preemptions, %d abandoned, max queue %d\n",
+				stats.Preemptions, stats.Abandoned, stats.MaxQueueDepth)
+		}
+	}
+	fmt.Printf("  throughput   %.1f req/s", stats.Throughput)
+	if cfg.TTFTSLO > 0 {
+		fmt.Printf("  (goodput %.1f req/s, %.0f%% in SLO)", stats.Goodput, stats.SLOAttainment*100)
+	}
+	fmt.Println()
 	return nil
 }

@@ -1,0 +1,3 @@
+module github.com/skipsim/skip
+
+go 1.21

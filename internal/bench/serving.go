@@ -46,7 +46,10 @@ func runExtServing() (*Result, error) {
 	}
 
 	// A moderate Poisson load: 120 requests at 150 req/s.
-	requests := serve.PoissonArrivals(120, 150, 7)
+	requests, err := serve.PoissonArrivals(120, 150, 7)
+	if err != nil {
+		return nil, err
+	}
 
 	tbl := Table{
 		Title:   "TTFT percentiles and throughput by batching policy (Bert, seq 512, 150 req/s Poisson)",

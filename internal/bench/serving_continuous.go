@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "ext8-continuous",
+		Title: "Continuous-batching study: iteration-level scheduling vs run-to-completion under chat load (Llama-3.2-1B, GH200 vs Intel+H100)",
+		Paper: "§II-A — Orca/vLLM-style serving approaches BS=1 latency at high throughput; decode is memory-bound and KV capacity binds",
+		Run:   runExtContinuous,
+	})
+}
+
+// contStudyLoad is the paper-style chat load: Poisson arrivals far above
+// what run-to-completion BS=1 can sustain, well within what
+// iteration-level batching can.
+func contStudyLoad() ([]serve.Request, error) {
+	w := serve.Workload{
+		Scenario:   serve.ScenarioChat,
+		N:          80,
+		RatePerSec: 20,
+		Seed:       13,
+		Prompt:     serve.LengthDist{Mean: 384, Sigma: 0.6, Min: 32, Max: 1024},
+		Output:     serve.LengthDist{Mean: 96, Sigma: 0.5, Min: 8, Max: 256},
+	}
+	return w.Generate()
+}
+
+func contStudyConfig(p *hw.Platform, m *models.Config, policy serve.Policy, maxBatch int) serve.Config {
+	return serve.Config{
+		Platform: p, Model: m, Seq: 384, Mode: engine.Eager,
+		Policy: policy, MaxBatch: maxBatch,
+		LatencyBucket: 256,
+		TTFTSLO:       500 * sim.Millisecond,
+	}
+}
+
+func runExtContinuous() (*Result, error) {
+	res := &Result{ID: "ext8-continuous", Title: "Extension 8"}
+	model, err := models.ByName("llama-3.2-1B")
+	if err != nil {
+		return nil, err
+	}
+	requests, err := contStudyLoad()
+	if err != nil {
+		return nil, err
+	}
+
+	type policyCase struct {
+		label    string
+		policy   serve.Policy
+		maxBatch int
+	}
+	cases := []policyCase{
+		{"continuous ≤32", serve.ContinuousBatch, 32},
+		{"chunked-prefill ≤32 (chunk 128)", serve.ChunkedPrefill, 32},
+		{"static BS=1 (run-to-completion)", serve.ContinuousBatch, 1},
+	}
+
+	tbl := Table{
+		Title: "TTFT/TPOT/E2E and KV occupancy by scheduling policy (Llama-3.2-1B chat load, 20 req/s Poisson)",
+		Columns: []string{"Platform", "Policy", "mean batch", "P50 TTFT (ms)", "P95 TTFT (ms)",
+			"P50 TPOT (ms)", "P95 E2E (ms)", "tok/s", "goodput (req/s)", "peak KV %", "preempt"},
+	}
+	type key struct{ plat, policy string }
+	stats := map[key]*serve.Stats{}
+	for _, p := range []*hw.Platform{hw.IntelH100(), hw.GH200()} {
+		for _, pc := range cases {
+			cfg := contStudyConfig(p, model, pc.policy, pc.maxBatch)
+			if pc.policy == serve.ChunkedPrefill {
+				cfg.PrefillChunk = 128
+			}
+			s, err := serve.Simulate(cfg, requests)
+			if err != nil {
+				return nil, err
+			}
+			stats[key{p.Name, pc.label}] = s
+			tbl.Rows = append(tbl.Rows, []string{
+				p.Name, pc.label, f1(s.MeanBatch),
+				ms(s.P50TTFT.Milliseconds()), ms(s.P95TTFT.Milliseconds()),
+				ms(s.P50TPOT.Milliseconds()), ms(s.P95E2E.Milliseconds()),
+				f1(s.TokensPerSec), f1(s.Goodput),
+				f1(s.PeakKVFrac * 100), fmt.Sprintf("%d", s.Preemptions),
+			})
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"static BS=1 is the run-to-completion baseline: one request holds the engine for its whole generation",
+		"goodput counts completed requests whose TTFT met the 500ms SLO",
+		"chunked prefill pays a host tax here: eager serving is dispatch-bound (§V-B), so every extra chunk iteration re-pays the per-iteration launch cost — chunking only wins where prefill is GPU-bound")
+	res.Tables = append(res.Tables, tbl)
+
+	// Determinism: the whole pipeline (workload generation + calendar
+	// simulation) must reproduce bit-identical stats for a fixed seed.
+	requests2, err := contStudyLoad()
+	if err != nil {
+		return nil, err
+	}
+	gh := hw.GH200()
+	again, err := serve.Simulate(contStudyConfig(gh, model, serve.ContinuousBatch, 32), requests2)
+	if err != nil {
+		return nil, err
+	}
+
+	ghCont := stats[key{hw.GH200Name, cases[0].label}]
+	ghChunk := stats[key{hw.GH200Name, cases[1].label}]
+	ghBS1 := stats[key{hw.GH200Name, cases[2].label}]
+	intelCont := stats[key{hw.IntelH100Name, cases[0].label}]
+
+	res.Checks = append(res.Checks,
+		checkBool("continuous batching beats static BS=1 P95 TTFT on GH200",
+			ghCont.P95TTFT < ghBS1.P95TTFT,
+			fmt.Sprintf("%v vs %v", ghCont.P95TTFT, ghBS1.P95TTFT),
+			"iteration-level admission removes run-to-completion queueing"),
+		checkBool("continuous batching beats static BS=1 P95 TTFT on Intel+H100",
+			intelCont.P95TTFT < stats[key{hw.IntelH100Name, cases[2].label}].P95TTFT,
+			fmt.Sprintf("%v vs %v", intelCont.P95TTFT, stats[key{hw.IntelH100Name, cases[2].label}].P95TTFT),
+			"the gap is architectural, not platform-specific"),
+		checkBool("continuous sustains more token throughput than BS=1 on GH200",
+			ghCont.TokensPerSec > ghBS1.TokensPerSec,
+			fmt.Sprintf("%.0f vs %.0f tok/s", ghCont.TokensPerSec, ghBS1.TokensPerSec),
+			"batched decode amortizes weight streaming"),
+		checkBool("chunked prefill defers the first token in the host-bound eager regime",
+			ghChunk.MeanTTFT > ghCont.MeanTTFT,
+			fmt.Sprintf("mean TTFT %v vs %v", ghChunk.MeanTTFT, ghCont.MeanTTFT),
+			"the first token waits for the last chunk, and each chunk re-pays dispatch cost"),
+		checkBool("simulation is deterministic for a fixed seed",
+			again.P95TTFT == ghCont.P95TTFT && again.Batches == ghCont.Batches &&
+				again.TokensPerSec == ghCont.TokensPerSec,
+			fmt.Sprintf("rerun P95 TTFT %v vs %v", again.P95TTFT, ghCont.P95TTFT),
+			"bit-identical stats across reruns"),
+		checkBool("KV occupancy is tracked and bounded",
+			ghCont.PeakKVFrac > 0 && ghCont.PeakKVFrac <= 1,
+			fmt.Sprintf("peak %.1f%%", ghCont.PeakKVFrac*100),
+			"admission keeps the cache within budget"),
+	)
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/cuda"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/sim"
+	"github.com/skipsim/skip/internal/trace"
+)
+
+// StepModel is a cached iteration-latency oracle for serving
+// simulators: per-(batch, seq) prefill latency and per-(batch, kvLen)
+// decode-step latency, both measured by executing the operator graph on
+// the platform model. Sequence and KV lengths are quantized to Bucket
+// tokens before caching, so a long simulation touches each engine
+// configuration once — the serving layer replays cached iteration
+// latencies thousands of times while the engine runs tens of graphs.
+type StepModel struct {
+	Platform *hw.Platform
+	Model    *models.Config
+	Mode     Mode
+	// Bucket quantizes seq/kvLen for caching (tokens; default 64).
+	Bucket int64
+
+	prefill map[stepKey]sim.Time
+	decode  map[stepKey]sim.Time
+}
+
+type stepKey struct{ batch, tokens int64 }
+
+// NewStepModel validates the configuration and returns an empty cache.
+// bucket <= 0 selects the 64-token default.
+func NewStepModel(p *hw.Platform, m *models.Config, mode Mode, bucket int64) (*StepModel, error) {
+	if p == nil || m == nil {
+		return nil, fmt.Errorf("engine: step model needs a platform and a model")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if bucket <= 0 {
+		bucket = 64
+	}
+	return &StepModel{
+		Platform: p, Model: m, Mode: mode, Bucket: bucket,
+		prefill: make(map[stepKey]sim.Time),
+		decode:  make(map[stepKey]sim.Time),
+	}, nil
+}
+
+// bucketTokens rounds tokens up to the bucket boundary (minimum one
+// bucket) so latencies are monotone in the quantized length.
+func (sm *StepModel) bucketTokens(tokens int64) int64 {
+	b := sm.Bucket
+	if tokens <= b {
+		return b
+	}
+	return (tokens + b - 1) / b * b
+}
+
+// Prefill returns the latency of one prefill iteration of batch
+// sequences at (bucketed) length seq.
+func (sm *StepModel) Prefill(batch, seq int64) (sim.Time, error) {
+	if batch <= 0 || seq <= 0 {
+		return 0, fmt.Errorf("engine: prefill latency needs positive batch (%d) and seq (%d)", batch, seq)
+	}
+	key := stepKey{batch, sm.bucketTokens(seq)}
+	if t, ok := sm.prefill[key]; ok {
+		return t, nil
+	}
+	res, err := Run(Request{
+		Platform: sm.Platform, Model: sm.Model,
+		Batch: batch, Seq: key.tokens, Mode: sm.Mode,
+	})
+	if err != nil {
+		return 0, err
+	}
+	sm.prefill[key] = res.TTFT
+	return res.TTFT, nil
+}
+
+// DecodeStep returns the latency of one decode iteration: batch
+// sequences each producing one token against a (bucketed) kvLen-entry
+// KV cache. Decode executes eagerly (with fused attention for the
+// flash/max-autotune modes), matching RunGenerate's regime.
+func (sm *StepModel) DecodeStep(batch, kvLen int64) (sim.Time, error) {
+	if batch <= 0 || kvLen <= 0 {
+		return 0, fmt.Errorf("engine: decode latency needs positive batch (%d) and kvLen (%d)", batch, kvLen)
+	}
+	if sm.Model.Kind != models.Decoder {
+		return 0, fmt.Errorf("engine: decode step requires a decoder-only model, %s is %v", sm.Model.Name, sm.Model.Kind)
+	}
+	key := stepKey{batch, sm.bucketTokens(kvLen)}
+	if t, ok := sm.decode[key]; ok {
+		return t, nil
+	}
+	attn := models.AttnEager
+	switch sm.Mode {
+	case Flash, CompileMaxAutotune:
+		attn = models.AttnFlash
+	}
+	g, err := models.BuildDecodeStep(sm.Model, batch, key.tokens, attn)
+	if err != nil {
+		return 0, err
+	}
+	b := trace.NewBuilder()
+	rt := cuda.NewRuntime(sm.Platform, b, mainThreadTID)
+	ex := &executor{
+		req: Request{Platform: sm.Platform, Model: sm.Model, Batch: batch, Seq: key.tokens, Mode: sm.Mode},
+		rt:  rt, builder: b,
+	}
+	ex.runEagerOn(rt, g)
+	d := rt.CPU.Now()
+	sm.decode[key] = d
+	return d, nil
+}
+
+// CachedRuns reports how many distinct engine configurations have been
+// executed (prefill + decode), a proxy for simulation cost.
+func (sm *StepModel) CachedRuns() int { return len(sm.prefill) + len(sm.decode) }

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+)
+
+func TestStepModelCachesByBucket(t *testing.T) {
+	sm, err := NewStepModel(hw.GH200(), models.GPT2(), Eager, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sm.DecodeStep(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sm.DecodeStep(4, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("kvLen 100 and 120 share the 128 bucket: %v vs %v", a, b)
+	}
+	if sm.CachedRuns() != 1 {
+		t.Errorf("cached runs = %d, want 1 (one bucket)", sm.CachedRuns())
+	}
+	// kvLen 200 lands in the 256 bucket: a distinct engine run, even if
+	// its duration coincides on CPU-dispatch-bound platforms.
+	if _, err := sm.DecodeStep(4, 200); err != nil {
+		t.Fatal(err)
+	}
+	if sm.CachedRuns() != 2 {
+		t.Errorf("cached runs = %d, want 2", sm.CachedRuns())
+	}
+	if _, err := sm.DecodeStep(4, 256); err != nil {
+		t.Fatal(err)
+	}
+	if sm.CachedRuns() != 2 {
+		t.Errorf("cached runs = %d after kv=256 re-hit, want 2", sm.CachedRuns())
+	}
+}
+
+func TestStepModelPrefillMatchesRun(t *testing.T) {
+	sm, err := NewStepModel(hw.GH200(), models.GPT2(), Eager, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sm.Prefill(2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Request{Platform: hw.GH200(), Model: models.GPT2(), Batch: 2, Seq: 128, Mode: Eager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.TTFT {
+		t.Errorf("cached prefill %v != engine.Run TTFT %v", got, res.TTFT)
+	}
+}
+
+func TestStepModelDecodeScalesWithBatchAndKV(t *testing.T) {
+	sm, err := NewStepModel(hw.GH200(), models.Llama32_1B(), Eager, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := sm.DecodeStep(1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d16, err := sm.DecodeStep(16, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d16 <= d1 {
+		t.Errorf("decode at BS=16 (%v) should exceed BS=1 (%v)", d16, d1)
+	}
+	// Batching must amortize: 16 sequences in one step beat 16 steps.
+	if d16 >= 16*d1 {
+		t.Errorf("batched decode (%v) should beat 16 serial steps (%v)", d16, 16*d1)
+	}
+	// On GH200's slow host, eager decode is dispatch-bound: a longer KV
+	// cache cannot shrink the step (it often doesn't grow it either —
+	// the GPU-side attention cost hides under CPU launch time, the
+	// paper's CPU-bound regime).
+	dLong, err := sm.DecodeStep(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dLong < d1 {
+		t.Errorf("decode at kv=4096 (%v) must not undercut kv=512 (%v)", dLong, d1)
+	}
+}
+
+func TestStepModelValidation(t *testing.T) {
+	if _, err := NewStepModel(nil, models.GPT2(), Eager, 0); err == nil {
+		t.Error("nil platform should fail")
+	}
+	sm, err := NewStepModel(hw.GH200(), models.BertBaseUncased(), Eager, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.DecodeStep(1, 64); err == nil {
+		t.Error("encoder decode step should fail")
+	}
+	if _, err := sm.Prefill(0, 64); err == nil {
+		t.Error("zero batch should fail")
+	}
+	sm2, _ := NewStepModel(hw.GH200(), models.GPT2(), Eager, 0)
+	if sm2.Bucket != 64 {
+		t.Errorf("default bucket = %d, want 64", sm2.Bucket)
+	}
+	if _, err := sm2.DecodeStep(2, 0); err == nil {
+		t.Error("zero kvLen should fail")
+	}
+}

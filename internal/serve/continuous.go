@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// The continuous-batching simulator: a discrete-event loop on
+// sim.Calendar implementing iteration-level (Orca-style) scheduling.
+// Each iteration the engine processes, for every running request, one
+// unit of work — a prefill chunk while the prompt is unconsumed, one
+// decode token afterwards. Requests join the running batch between
+// iterations as KV-cache capacity allows and leave the moment they
+// finish, so the batch composition tracks the offered load instead of
+// being frozen at dispatch time (the legacy policies' run-to-completion
+// regime).
+//
+// KV-cache capacity model: each cached token costs
+// 2 (K and V) × Layers × KVDim × 2 bytes (fp16); the budget is the
+// GPU's HBM × KVMemoryUtil minus the fp16 weights. Admission reserves
+// the prompt's KV up front (queue-on-full, FIFO head-of-line), and
+// decode growth that overflows the budget preempts the youngest running
+// request vLLM-recompute-style: its KV is released and it re-queues at
+// the head of the wait queue to be recomputed.
+
+// kvBytesPerToken is the KV-cache cost of one cached token position:
+// a key and a value vector of KVDim halves per layer.
+func kvBytesPerToken(m *models.Config) float64 {
+	return float64(2 * m.Layers * m.KVDim() * 2)
+}
+
+// contRequest tracks one request through the continuous scheduler.
+type contRequest struct {
+	req        Request
+	promptLen  int64
+	outputLen  int64
+	promptDone int64 // prefill tokens consumed so far
+	generated  int64 // output tokens produced so far
+	// delivered is the high-water mark of generated across preemptions:
+	// recomputed tokens are regenerated internally but were already
+	// streamed to the user, so throughput counts them once.
+	delivered int64
+	kvBytes   float64
+	firstTok  sim.Time // time of first output token (TTFT anchor)
+	hasFirst  bool
+	abandonEv *sim.Event
+}
+
+func (r *contRequest) kvLen() int64 { return r.promptLen + r.generated }
+
+type contSim struct {
+	cfg         Config
+	cal         *sim.Calendar
+	sm          *engine.StepModel
+	bytesPerTok float64
+	capacity    float64
+
+	waiting     []*contRequest
+	running     []*contRequest // admission order: oldest first
+	kvUsed      float64
+	busy        bool
+	kickPending bool
+	err         error
+
+	// accumulators
+	ttfts, tpots, e2es []sim.Time
+	completed          int
+	abandoned          int
+	preemptions        int
+	iterations         int
+	totalBatch         int
+	tokensOut          int64
+	lastCompletion     sim.Time
+	queueSeries        []SamplePoint
+	kvSeries           []SamplePoint
+	maxQueue           int
+	peakKV             float64
+	kvIntegral         float64 // ∫ kvFrac dt
+	lastSampleT        sim.Time
+}
+
+// simulateContinuous runs the ContinuousBatch / ChunkedPrefill policies
+// over the (already sorted) request stream.
+func simulateContinuous(cfg Config, reqs []Request) (*Stats, error) {
+	if cfg.DefaultOutputLen <= 0 {
+		cfg.DefaultOutputLen = 1
+	}
+	if cfg.PrefillChunk <= 0 {
+		cfg.PrefillChunk = 512
+	}
+	if cfg.KVMemoryUtil == 0 {
+		cfg.KVMemoryUtil = 0.9
+	}
+	sm, err := engine.NewStepModel(cfg.Platform, cfg.Model, cfg.Mode, cfg.LatencyBucket)
+	if err != nil {
+		return nil, err
+	}
+	s := &contSim{
+		cfg:         cfg,
+		cal:         sim.NewCalendar(),
+		sm:          sm,
+		bytesPerTok: kvBytesPerToken(cfg.Model),
+	}
+	s.capacity = cfg.KVCapacityBytes
+	if s.capacity <= 0 {
+		hbm := float64(cfg.Platform.GPU.HBMGB) * 1e9
+		weights := float64(cfg.Model.Params()) * 2 // fp16
+		s.capacity = hbm*cfg.KVMemoryUtil - weights
+	}
+	if s.capacity <= 0 {
+		return nil, fmt.Errorf("serve: %s does not fit on %s: KV budget %.2f GB after fp16 weights",
+			cfg.Model.Name, cfg.Platform.Name, s.capacity/1e9)
+	}
+
+	for i := range reqs {
+		cr := &contRequest{
+			req:       reqs[i],
+			promptLen: reqs[i].PromptLen,
+			outputLen: reqs[i].OutputLen,
+		}
+		if cr.promptLen <= 0 {
+			cr.promptLen = cfg.Seq
+		}
+		if cr.outputLen <= 0 {
+			cr.outputLen = cfg.DefaultOutputLen
+		}
+		// Feasibility: a request whose lifetime KV footprint exceeds the
+		// whole budget would preempt-livelock; reject the stream up front.
+		if need := float64(cr.promptLen+cr.outputLen) * s.bytesPerTok; need > s.capacity {
+			return nil, fmt.Errorf("serve: request %d needs %.2f GB of KV (prompt %d + output %d tokens) but the budget is %.2f GB",
+				cr.req.ID, need/1e9, cr.promptLen, cr.outputLen, s.capacity/1e9)
+		}
+		s.cal.Schedule(cr.req.Arrival, func(now sim.Time) { s.arrive(now, cr) })
+	}
+
+	s.cal.Run()
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.stats(), nil
+}
+
+// arrive enqueues a request, arms its abandonment timer, and pokes the
+// scheduler.
+func (s *contSim) arrive(now sim.Time, cr *contRequest) {
+	if s.err != nil {
+		return
+	}
+	s.waiting = append(s.waiting, cr)
+	if s.cfg.AbandonAfter > 0 {
+		cr.abandonEv = s.cal.Schedule(now+s.cfg.AbandonAfter, func(at sim.Time) { s.abandon(at, cr) })
+	}
+	if s.busy {
+		s.sample(now) // record the deeper queue while the engine runs
+		return
+	}
+	// Defer the scheduling decision to a same-time calendar event: the
+	// arrival events were enqueued first, so every request arriving at
+	// this instant joins the queue before the iteration forms (real
+	// servers coalesce a scheduling tick's arrivals the same way).
+	if !s.kickPending {
+		s.kickPending = true
+		s.cal.Schedule(now, func(at sim.Time) {
+			s.kickPending = false
+			s.kick(at)
+		})
+	}
+}
+
+// abandon drops a request that is still waiting when its patience
+// expires. Requests already admitted cancelled this event, so reaching
+// here means cr is in the wait queue.
+func (s *contSim) abandon(now sim.Time, cr *contRequest) {
+	if s.err != nil {
+		return
+	}
+	for i, w := range s.waiting {
+		if w == cr {
+			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+			s.abandoned++
+			s.sample(now)
+			return
+		}
+	}
+}
+
+// admit moves wait-queue heads into the running batch while the KV
+// budget and batch cap allow (FIFO: a head that does not fit blocks the
+// queue, the queue-or-preempt policy's "queue" side).
+func (s *contSim) admit() {
+	for len(s.waiting) > 0 && len(s.running) < s.cfg.MaxBatch {
+		head := s.waiting[0]
+		need := float64(head.promptLen) * s.bytesPerTok
+		if s.kvUsed+need > s.capacity {
+			return
+		}
+		s.waiting = s.waiting[1:]
+		if head.abandonEv != nil {
+			s.cal.Cancel(head.abandonEv)
+			head.abandonEv = nil
+		}
+		head.kvBytes = need
+		s.kvUsed += need
+		s.running = append(s.running, head)
+	}
+}
+
+// willEmitToken reports whether r produces an output token in the next
+// iteration: decoding requests always do, and a prefilling request does
+// when this iteration's chunk consumes the rest of its prompt.
+func (s *contSim) willEmitToken(r *contRequest) bool {
+	remaining := r.promptLen - r.promptDone
+	if remaining <= 0 {
+		return true
+	}
+	if s.cfg.Policy == ChunkedPrefill && remaining > s.cfg.PrefillChunk {
+		return false
+	}
+	return true
+}
+
+// preemptForGrowth frees KV for the coming iteration's growth — one
+// cache entry per token that will be emitted, including first tokens
+// from completing prefills — by evicting the youngest running
+// request(s) (recompute-style: progress and KV are discarded, the
+// request re-queues at the head of the wait queue). The oldest request
+// is never evicted — feasibility guarantees it fits alone, so the
+// scheduler always makes progress.
+func (s *contSim) preemptForGrowth() {
+	for {
+		var growth float64
+		for _, r := range s.running {
+			if s.willEmitToken(r) {
+				growth += s.bytesPerTok
+			}
+		}
+		if s.kvUsed+growth <= s.capacity || len(s.running) <= 1 {
+			return
+		}
+		victim := s.running[len(s.running)-1]
+		s.running = s.running[:len(s.running)-1]
+		s.kvUsed -= victim.kvBytes
+		victim.kvBytes = 0
+		victim.promptDone = 0
+		victim.generated = 0
+		s.waiting = append([]*contRequest{victim}, s.waiting...)
+		s.preemptions++
+	}
+}
+
+// kick starts the next iteration if the engine is idle and work exists.
+func (s *contSim) kick(now sim.Time) {
+	if s.busy || s.err != nil {
+		return
+	}
+	s.admit()
+	s.preemptForGrowth()
+	s.sample(now)
+	if len(s.running) == 0 {
+		return
+	}
+
+	// Plan the iteration: prefill chunks for requests still consuming
+	// their prompt, one decode token for the rest.
+	var dur sim.Time
+	type prefillPlan struct {
+		r     *contRequest
+		chunk int64
+	}
+	var prefills []prefillPlan
+	decodeBatch := int64(0)
+	maxKV := int64(0)
+	for _, r := range s.running {
+		if r.promptDone < r.promptLen {
+			chunk := r.promptLen - r.promptDone
+			if s.cfg.Policy == ChunkedPrefill && chunk > s.cfg.PrefillChunk {
+				chunk = s.cfg.PrefillChunk
+			}
+			prefills = append(prefills, prefillPlan{r, chunk})
+		} else {
+			decodeBatch++
+			if kv := r.kvLen(); kv > maxKV {
+				maxKV = kv
+			}
+		}
+	}
+	for _, p := range prefills {
+		d, err := s.sm.Prefill(1, p.chunk)
+		if err != nil {
+			s.err = err
+			return
+		}
+		dur += d
+	}
+	if decodeBatch > 0 {
+		d, err := s.sm.DecodeStep(decodeBatch, maxKV)
+		if err != nil {
+			s.err = err
+			return
+		}
+		dur += d
+	}
+
+	s.busy = true
+	s.iterations++
+	s.totalBatch += len(s.running)
+	batch := append([]*contRequest(nil), s.running...)
+	chunks := make(map[*contRequest]int64, len(prefills))
+	for _, p := range prefills {
+		chunks[p.r] = p.chunk
+	}
+	s.cal.Schedule(now+dur, func(end sim.Time) { s.finishIteration(end, batch, chunks) })
+}
+
+// finishIteration applies one iteration's outcomes at its end time:
+// prompt progress, emitted tokens, completions, KV growth.
+func (s *contSim) finishIteration(end sim.Time, batch []*contRequest, chunks map[*contRequest]int64) {
+	s.busy = false
+	if s.err != nil {
+		return
+	}
+	for _, r := range batch {
+		if !s.isRunning(r) {
+			continue // preempted while... cannot happen mid-iteration, but stay safe
+		}
+		if chunk, ok := chunks[r]; ok {
+			r.promptDone += chunk
+			if r.promptDone >= r.promptLen {
+				// Prefill complete: the iteration's forward pass emits
+				// the first output token.
+				s.emitToken(r, end)
+			}
+			continue
+		}
+		s.emitToken(r, end)
+	}
+	s.sample(end)
+	s.kick(end)
+}
+
+// emitToken records one generated token for r at time end, growing its
+// KV reservation and completing the request when it reaches outputLen.
+func (s *contSim) emitToken(r *contRequest, end sim.Time) {
+	r.generated++
+	r.kvBytes += s.bytesPerTok
+	s.kvUsed += s.bytesPerTok
+	if r.generated > r.delivered {
+		r.delivered = r.generated
+		s.tokensOut++
+	}
+	if !r.hasFirst {
+		r.hasFirst = true
+		r.firstTok = end
+		s.ttfts = append(s.ttfts, end-r.req.Arrival)
+	}
+	if r.generated >= r.outputLen {
+		s.completed++
+		s.e2es = append(s.e2es, end-r.req.Arrival)
+		if r.outputLen > 1 {
+			s.tpots = append(s.tpots, (end-r.firstTok)/sim.Time(r.outputLen-1))
+		}
+		s.kvUsed -= r.kvBytes
+		r.kvBytes = 0
+		s.removeRunning(r)
+		if end > s.lastCompletion {
+			s.lastCompletion = end
+		}
+	}
+}
+
+func (s *contSim) isRunning(r *contRequest) bool {
+	for _, x := range s.running {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *contSim) removeRunning(r *contRequest) {
+	for i, x := range s.running {
+		if x == r {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// sample records the queue-depth and KV-occupancy series and advances
+// the time-weighted KV integral.
+func (s *contSim) sample(now sim.Time) {
+	frac := s.kvUsed / s.capacity
+	if now > s.lastSampleT {
+		// Integrate the previous level over the elapsed interval.
+		prev := 0.0
+		if n := len(s.kvSeries); n > 0 {
+			prev = s.kvSeries[n-1].V
+		}
+		s.kvIntegral += prev * float64(now-s.lastSampleT)
+		s.lastSampleT = now
+	}
+	s.queueSeries = append(s.queueSeries, SamplePoint{T: now, V: float64(len(s.waiting))})
+	s.kvSeries = append(s.kvSeries, SamplePoint{T: now, V: frac})
+	if len(s.waiting) > s.maxQueue {
+		s.maxQueue = len(s.waiting)
+	}
+	if s.kvUsed > s.peakKV {
+		s.peakKV = s.kvUsed
+	}
+}
+
+// stats assembles the final Stats from the accumulators.
+func (s *contSim) stats() *Stats {
+	st := &Stats{
+		Requests:        s.completed + s.abandoned,
+		Completed:       s.completed,
+		Abandoned:       s.abandoned,
+		Preemptions:     s.preemptions,
+		Horizon:         s.lastCompletion,
+		Batches:         s.iterations,
+		KVCapacityBytes: s.capacity,
+		PeakKVBytes:     s.peakKV,
+		PeakKVFrac:      s.peakKV / s.capacity,
+		KVOccupancy:     s.kvSeries,
+		QueueDepth:      s.queueSeries,
+		MaxQueueDepth:   s.maxQueue,
+	}
+	sort.Slice(s.ttfts, func(i, j int) bool { return s.ttfts[i] < s.ttfts[j] })
+	sort.Slice(s.tpots, func(i, j int) bool { return s.tpots[i] < s.tpots[j] })
+	sort.Slice(s.e2es, func(i, j int) bool { return s.e2es[i] < s.e2es[j] })
+	st.MeanTTFT = meanTime(s.ttfts)
+	st.P50TTFT = percentileSorted(s.ttfts, 50)
+	st.P95TTFT = percentileSorted(s.ttfts, 95)
+	st.P99TTFT = percentileSorted(s.ttfts, 99)
+	st.MaxTTFT = maxTimeOf(s.ttfts)
+	st.MeanTPOT = meanTime(s.tpots)
+	st.P50TPOT = percentileSorted(s.tpots, 50)
+	st.P95TPOT = percentileSorted(s.tpots, 95)
+	st.MeanE2E = meanTime(s.e2es)
+	st.P50E2E = percentileSorted(s.e2es, 50)
+	st.P95E2E = percentileSorted(s.e2es, 95)
+	st.MaxE2E = maxTimeOf(s.e2es)
+	if s.iterations > 0 {
+		st.MeanBatch = float64(s.totalBatch) / float64(s.iterations)
+	}
+	if s.lastCompletion > 0 {
+		sec := s.lastCompletion.Seconds()
+		st.Throughput = float64(s.completed) / sec
+		st.TokensPerSec = float64(s.tokensOut) / sec
+		st.MeanKVFrac = s.kvIntegral / float64(s.lastCompletion)
+	}
+	st.SLOAttainment, st.Goodput = sloGoodput(s.ttfts, s.cfg.TTFTSLO, s.lastCompletion, st.Throughput)
+	return st
+}

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// contConfig is the continuous-batching test baseline: a small decoder
+// on GH200 so engine runs stay cheap.
+func contConfig() Config {
+	return Config{
+		Platform: hw.GH200(), Model: models.GPT2(), Seq: 64, Mode: engine.Eager,
+		Policy: ContinuousBatch, MaxBatch: 8, DefaultOutputLen: 4,
+	}
+}
+
+// gpt2KVBytesPerToken mirrors the scheduler's KV cost model for test
+// arithmetic: 2 × layers × kvdim × 2 bytes.
+func gpt2KVBytesPerToken() float64 {
+	m := models.GPT2()
+	return float64(2 * m.Layers * m.KVDim() * 2)
+}
+
+func TestContinuousBasics(t *testing.T) {
+	reqs := UniformArrivals(20, 5*sim.Millisecond)
+	stats, err := Simulate(contConfig(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 20 || stats.Completed != 20 || stats.Abandoned != 0 {
+		t.Fatalf("conservation broken: %+v", stats)
+	}
+	if stats.P50TTFT <= 0 || stats.P95TTFT < stats.P50TTFT || stats.MaxTTFT < stats.P95TTFT {
+		t.Errorf("TTFT ordering broken: P50 %v P95 %v max %v", stats.P50TTFT, stats.P95TTFT, stats.MaxTTFT)
+	}
+	if stats.MeanTPOT <= 0 || stats.P95TPOT < stats.P50TPOT {
+		t.Errorf("TPOT ordering broken: mean %v P50 %v P95 %v", stats.MeanTPOT, stats.P50TPOT, stats.P95TPOT)
+	}
+	if stats.P95E2E < stats.P95TTFT {
+		t.Errorf("E2E (%v) cannot beat TTFT (%v)", stats.P95E2E, stats.P95TTFT)
+	}
+	if stats.TokensPerSec <= 0 || stats.Throughput <= 0 {
+		t.Errorf("throughput: %+v", stats)
+	}
+	if stats.PeakKVFrac <= 0 || stats.PeakKVFrac > 1 {
+		t.Errorf("peak KV fraction = %v, want (0,1]", stats.PeakKVFrac)
+	}
+	if len(stats.KVOccupancy) == 0 || len(stats.QueueDepth) == 0 {
+		t.Error("state series not recorded")
+	}
+	for i := 1; i < len(stats.KVOccupancy); i++ {
+		if stats.KVOccupancy[i].T < stats.KVOccupancy[i-1].T {
+			t.Fatal("KV series timestamps must be non-decreasing")
+		}
+	}
+}
+
+// TestContinuousBeatsRunToCompletion is the deterministic end-to-end
+// scenario from the issue: under an identical Poisson stream, iteration
+// -level admission must contain P95 TTFT relative to run-to-completion
+// BS=1 (which holds the engine for every request's full generation) and
+// move more tokens.
+func TestContinuousBeatsRunToCompletion(t *testing.T) {
+	reqs, err := PoissonArrivals(24, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		reqs[i].OutputLen = 8
+	}
+	cont := contConfig()
+	cont.MaxBatch = 8
+	rtc := contConfig()
+	rtc.MaxBatch = 1
+
+	cs, err := Simulate(cont, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Simulate(rtc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.P95TTFT >= rs.P95TTFT {
+		t.Errorf("continuous P95 TTFT (%v) should beat run-to-completion BS=1 (%v)", cs.P95TTFT, rs.P95TTFT)
+	}
+	if cs.TokensPerSec <= rs.TokensPerSec {
+		t.Errorf("continuous tok/s (%.0f) should beat BS=1 (%.0f)", cs.TokensPerSec, rs.TokensPerSec)
+	}
+	if cs.MeanBatch <= rs.MeanBatch {
+		t.Errorf("continuous mean batch (%.1f) should exceed BS=1's (%.1f)", cs.MeanBatch, rs.MeanBatch)
+	}
+}
+
+func TestContinuousKVAdmissionBoundary(t *testing.T) {
+	bpt := gpt2KVBytesPerToken()
+	cfg := contConfig()
+	// Room for one 64-token prompt plus its 4 output tokens, not two
+	// prompts: the second request must queue until the first releases.
+	cfg.KVCapacityBytes = 96 * bpt
+	reqs := UniformArrivals(3, sim.Microsecond)
+	stats, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 3 {
+		t.Fatalf("completed %d of 3", stats.Completed)
+	}
+	if stats.MaxQueueDepth == 0 {
+		t.Error("tiny KV budget must force queueing")
+	}
+	if stats.MeanBatch > 1.01 {
+		t.Errorf("mean batch %.2f: budget fits one request at a time", stats.MeanBatch)
+	}
+	if stats.PeakKVBytes > cfg.KVCapacityBytes {
+		t.Errorf("KV peak %.0f exceeded the %.0f budget", stats.PeakKVBytes, cfg.KVCapacityBytes)
+	}
+}
+
+func TestContinuousExactBoundaryAdmitsBothPrompts(t *testing.T) {
+	bpt := gpt2KVBytesPerToken()
+	cfg := contConfig()
+	cfg.DefaultOutputLen = 1 // no decode growth: prompts only
+	// Exactly two 64-token prompts: admission at the precise boundary.
+	cfg.KVCapacityBytes = 2 * 65 * bpt // 64-token prompt + 1 generated token each
+	reqs := UniformArrivals(2, 0)      // simultaneous arrivals
+	stats, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxQueueDepth != 0 {
+		t.Errorf("both prompts fit exactly; queue depth %d", stats.MaxQueueDepth)
+	}
+	if stats.MeanBatch < 1.5 {
+		t.Errorf("mean batch %.2f: both should run together", stats.MeanBatch)
+	}
+}
+
+func TestContinuousPreemptsOnKVGrowth(t *testing.T) {
+	bpt := gpt2KVBytesPerToken()
+	cfg := contConfig()
+	cfg.Seq = 32
+	cfg.DefaultOutputLen = 10
+	// Both 32-token prompts fit (64 × bpt), each request's lifetime
+	// footprint (42) fits alone, but joint decode growth overflows: the
+	// younger request must be preempted and recomputed.
+	cfg.KVCapacityBytes = 70 * bpt
+	reqs := UniformArrivals(2, sim.Microsecond)
+	stats, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Preemptions == 0 {
+		t.Error("joint KV growth past the budget must preempt")
+	}
+	if stats.Completed != 2 {
+		t.Errorf("preempted request must still complete: %d of 2", stats.Completed)
+	}
+	if stats.PeakKVBytes > cfg.KVCapacityBytes {
+		t.Errorf("KV peak %.0f exceeded the %.0f budget", stats.PeakKVBytes, cfg.KVCapacityBytes)
+	}
+}
+
+// TestContinuousFirstTokenGrowthRespectsBudget pins the overrun found
+// in review: two 50-token prompts exactly fill a 100-token budget, and
+// the first tokens their prefill completions emit must not push KV past
+// capacity — the scheduler has to serialize or preempt instead.
+func TestContinuousFirstTokenGrowthRespectsBudget(t *testing.T) {
+	bpt := gpt2KVBytesPerToken()
+	cfg := contConfig()
+	cfg.Seq = 50
+	cfg.DefaultOutputLen = 2
+	cfg.KVCapacityBytes = 100 * bpt
+	stats, err := Simulate(cfg, UniformArrivals(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeakKVBytes > cfg.KVCapacityBytes {
+		t.Errorf("KV peak %.0f exceeded the %.0f budget", stats.PeakKVBytes, cfg.KVCapacityBytes)
+	}
+	if stats.PeakKVFrac > 1 {
+		t.Errorf("peak KV fraction %v > 1", stats.PeakKVFrac)
+	}
+	if stats.Completed != 2 {
+		t.Errorf("completed %d of 2", stats.Completed)
+	}
+}
+
+func TestContinuousInfeasibleRequestRejected(t *testing.T) {
+	bpt := gpt2KVBytesPerToken()
+	cfg := contConfig()
+	cfg.KVCapacityBytes = 40 * bpt // less than one 64-token prompt
+	_, err := Simulate(cfg, UniformArrivals(1, sim.Microsecond))
+	if err == nil || !strings.Contains(err.Error(), "KV") {
+		t.Fatalf("oversized request should be rejected with a KV message, got %v", err)
+	}
+}
+
+// TestContinuousAbandonment exercises the Calendar.Cancel interaction:
+// a queue-blocked request abandons when its patience expires, while
+// admitted requests — whose abandon timers were cancelled — never do.
+func TestContinuousAbandonment(t *testing.T) {
+	bpt := gpt2KVBytesPerToken()
+	cfg := contConfig()
+	cfg.DefaultOutputLen = 16
+	cfg.KVCapacityBytes = 96 * bpt // one request at a time
+	cfg.AbandonAfter = 2 * sim.Millisecond
+	// Request 0 admits immediately and runs long; request 1 queues
+	// behind it past its patience.
+	reqs := UniformArrivals(2, sim.Microsecond)
+	stats, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Abandoned != 1 {
+		t.Errorf("abandoned %d, want 1 (the queue-blocked request)", stats.Abandoned)
+	}
+	if stats.Completed != 1 {
+		t.Errorf("completed %d, want 1", stats.Completed)
+	}
+
+	// With ample KV both admit instantly: the timers must be cancelled,
+	// never fired — no request may be dropped mid-generation.
+	cfg2 := contConfig()
+	cfg2.DefaultOutputLen = 16
+	cfg2.AbandonAfter = 1 * sim.Microsecond // far shorter than a generation
+	stats2, err := Simulate(cfg2, UniformArrivals(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Abandoned != 0 || stats2.Completed != 2 {
+		t.Errorf("admitted requests must not abandon: %+v", stats2)
+	}
+}
+
+func TestChunkedPrefillSpreadsPromptWork(t *testing.T) {
+	cfg := contConfig()
+	cfg.Policy = ChunkedPrefill
+	cfg.Seq = 512
+	cfg.PrefillChunk = 128
+	cfg.DefaultOutputLen = 3
+	stats, err := Simulate(cfg, UniformArrivals(1, sim.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512/128 = 4 prefill iterations + 2 further decode iterations.
+	if stats.Batches != 6 {
+		t.Errorf("iterations = %d, want 6 (4 prefill chunks + 2 decodes)", stats.Batches)
+	}
+
+	whole := contConfig()
+	whole.Seq = 512
+	whole.DefaultOutputLen = 3
+	ws, err := Simulate(whole, UniformArrivals(1, sim.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Batches != 3 {
+		t.Errorf("whole-prompt iterations = %d, want 3 (1 prefill + 2 decodes)", ws.Batches)
+	}
+}
+
+func TestContinuousEncoderModelRejected(t *testing.T) {
+	cfg := contConfig()
+	cfg.Model = models.BertBaseUncased()
+	cfg.DefaultOutputLen = 2
+	if _, err := Simulate(cfg, UniformArrivals(2, sim.Millisecond)); err == nil {
+		t.Error("decode phase needs a decoder-only model")
+	}
+}
+
+// TestContinuousGoodput checks SLO accounting: an impossible SLO yields
+// zero goodput, an infinite one matches throughput.
+func TestContinuousGoodput(t *testing.T) {
+	cfg := contConfig()
+	cfg.TTFTSLO = sim.Nanosecond
+	reqs := UniformArrivals(8, sim.Millisecond)
+	tight, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.SLOAttainment != 0 || tight.Goodput != 0 {
+		t.Errorf("1ns SLO: attainment %.2f goodput %.1f, want 0/0", tight.SLOAttainment, tight.Goodput)
+	}
+	cfg.TTFTSLO = sim.Time(1) * 3600 * sim.Second
+	loose, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.SLOAttainment != 1 || loose.Goodput != loose.Throughput {
+		t.Errorf("1h SLO: attainment %.2f goodput %.1f vs throughput %.1f",
+			loose.SLOAttainment, loose.Goodput, loose.Throughput)
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// TestContinuousGoldenStats pins the end-to-end behavior of the
+// continuous scheduler on a fixed workload: any change to admission
+// order, KV accounting, iteration formation, or the latency model moves
+// these numbers. Update the constants deliberately when the model
+// changes — never to quiet an accidental diff.
+func TestContinuousGoldenStats(t *testing.T) {
+	reqs, err := Workload{
+		Scenario: ScenarioChat, N: 16, RatePerSec: 40, Seed: 21,
+		Prompt: LengthDist{Mean: 96, Sigma: 0.5, Min: 16, Max: 256},
+		Output: LengthDist{Mean: 8, Sigma: 0.5, Min: 2, Max: 16},
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := contConfig()
+	cfg.DefaultOutputLen = 0 // per-request output lengths from the workload
+	s, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	intChecks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"Completed", int64(s.Completed), 16},
+		{"Batches", int64(s.Batches), 30},
+		{"Preemptions", int64(s.Preemptions), 0},
+		{"MaxQueueDepth", int64(s.MaxQueueDepth), 5},
+		{"P50TTFT", int64(s.P50TTFT), 95175568},
+		{"P95TTFT", int64(s.P95TTFT), 251558238},
+		{"MeanTTFT", int64(s.MeanTTFT), 122083879},
+		{"P50TPOT", int64(s.P50TPOT), 25932216},
+		{"P95E2E", int64(s.P95E2E), 575623067},
+		{"Horizon", int64(s.Horizon), 853479045},
+	}
+	for _, c := range intChecks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	floatChecks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"MeanBatch", s.MeanBatch, 5.3},
+		{"TokensPerSec", s.TokensPerSec, 186.29631381283647},
+		{"PeakKVBytes", s.PeakKVBytes, 2.7942912e+07},
+	}
+	for _, c := range floatChecks {
+		if math.Abs(c.got-c.want) > 1e-9*math.Max(1, math.Abs(c.want)) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+
+	// The same workload and config must reproduce bit-identically.
+	reqs2, err := Workload{
+		Scenario: ScenarioChat, N: 16, RatePerSec: 40, Seed: 21,
+		Prompt: LengthDist{Mean: 96, Sigma: 0.5, Min: 16, Max: 256},
+		Output: LengthDist{Mean: 8, Sigma: 0.5, Min: 2, Max: 16},
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Simulate(cfg, reqs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.P95TTFT != s.P95TTFT || s2.Horizon != s.Horizon || s2.TokensPerSec != s.TokensPerSec {
+		t.Errorf("rerun diverged: %v/%v vs %v/%v", s2.P95TTFT, s2.Horizon, s.P95TTFT, s.Horizon)
+	}
+}

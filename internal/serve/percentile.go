@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// Percentile returns the nearest-rank p-th percentile of the samples
+// (p in (0,100]): the smallest value such that at least p% of samples
+// are ≤ it. The input need not be sorted; a zero-length input returns 0.
+// Both the legacy prefill-only stats and the continuous-batching stats
+// report percentiles through this one definition, so policies are
+// comparable rank-for-rank.
+func Percentile(samples []sim.Time, p float64) sim.Time {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]sim.Time, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is the nearest-rank lookup on an already-sorted
+// sample slice: rank = ceil(p/100 × n), clamped to [1, n].
+func percentileSorted(sorted []sim.Time, p float64) sim.Time {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(float64(n) * p / 100))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// meanTime averages a sample slice (0 for empty input).
+func meanTime(samples []sim.Time) sim.Time {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / sim.Time(len(samples))
+}
+
+// sloGoodput computes the SLO block shared by both stats paths: the
+// fraction of TTFT samples within slo and the corresponding goodput
+// over the horizon. slo <= 0 means no SLO: full attainment, goodput ==
+// throughput.
+func sloGoodput(ttfts []sim.Time, slo, horizon sim.Time, throughput float64) (attainment, goodput float64) {
+	if slo <= 0 || len(ttfts) == 0 {
+		return 1, throughput
+	}
+	met := 0
+	for _, t := range ttfts {
+		if t <= slo {
+			met++
+		}
+	}
+	attainment = float64(met) / float64(len(ttfts))
+	if horizon > 0 {
+		goodput = float64(met) / horizon.Seconds()
+	}
+	return attainment, goodput
+}
+
+// maxTimeOf returns the largest sample (0 for empty input).
+func maxTimeOf(samples []sim.Time) sim.Time {
+	var m sim.Time
+	for _, s := range samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/skipsim/skip/internal/sim"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	samples := []sim.Time{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want sim.Time
+	}{
+		{50, 50},   // rank ceil(5) = 5
+		{95, 100},  // rank ceil(9.5) = 10
+		{99, 100},  // rank ceil(9.9) = 10
+		{100, 100}, // rank 10
+		{10, 10},   // rank 1
+		{1, 10},    // rank ceil(0.1) = 1
+	}
+	for _, c := range cases {
+		if got := Percentile(samples, c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSmallSamples(t *testing.T) {
+	// The legacy index (len*95)/100 read element 0 of a 1-element slice
+	// for P95 but overflowed in spirit for other small n; nearest-rank
+	// must stay in bounds and return the max for high percentiles.
+	if got := Percentile([]sim.Time{7}, 95); got != 7 {
+		t.Errorf("P95 of singleton = %v, want 7", got)
+	}
+	if got := Percentile([]sim.Time{3, 9}, 95); got != 9 {
+		t.Errorf("P95 of pair = %v, want 9", got)
+	}
+	if got := Percentile([]sim.Time{3, 9}, 50); got != 3 {
+		t.Errorf("P50 of pair = %v, want 3 (nearest rank 1)", got)
+	}
+	if got := Percentile(nil, 95); got != 0 {
+		t.Errorf("P95 of empty = %v, want 0", got)
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	samples := []sim.Time{90, 10, 50, 30, 70}
+	if got := Percentile(samples, 50); got != 50 {
+		t.Errorf("P50 = %v, want 50", got)
+	}
+	// The input slice must not be reordered.
+	if samples[0] != 90 || samples[4] != 70 {
+		t.Error("Percentile mutated its input")
+	}
+}

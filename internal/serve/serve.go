@@ -1,12 +1,21 @@
 // Package serve simulates an inference server in front of the platform
 // simulator: requests arrive over time, a batching policy groups them,
-// and each batch executes with the engine's simulated prefill latency.
-// This operationalizes the paper's §II-A discussion — "batch size
-// selection profoundly impacts the user experience", large batches buy
-// throughput at the cost of individual latency, and serving systems
-// (Orca, vLLM) chase BS=1-like latency at high throughput — and its
-// contribution 5: operating inside the balanced batch region instead of
-// chasing GPU saturation.
+// and batches execute with the engine's simulated latencies. This
+// operationalizes the paper's §II-A discussion — "batch size selection
+// profoundly impacts the user experience", large batches buy throughput
+// at the cost of individual latency, and serving systems (Orca, vLLM)
+// chase BS=1-like latency at high throughput — and its contribution 5:
+// operating inside the balanced batch region instead of chasing GPU
+// saturation.
+//
+// Two simulator generations coexist:
+//
+//   - StaticBatch / GreedyBatch: the legacy prefill-only model. Whole
+//     batches run to completion; TTFT is queueing plus batched prefill.
+//   - ContinuousBatch / ChunkedPrefill: a discrete-event simulator on
+//     sim.Calendar with iteration-level (Orca-style) scheduling, a
+//     KV-cache capacity model gating admission, and decode-phase
+//     execution — see continuous.go.
 package serve
 
 import (
@@ -24,6 +33,13 @@ import (
 type Request struct {
 	ID      int
 	Arrival sim.Time
+	// PromptLen is the request's input length in tokens. Zero falls back
+	// to Config.Seq (every legacy caller's behavior).
+	PromptLen int64
+	// OutputLen is how many tokens the request generates. Zero falls
+	// back to Config.DefaultOutputLen (itself defaulting to 1). The
+	// legacy prefill-only policies ignore it.
+	OutputLen int64
 }
 
 // Policy selects how the server forms batches.
@@ -33,35 +49,96 @@ const (
 	// StaticBatch waits until exactly BatchSize requests are queued (or
 	// MaxWait expires for a partial batch), then runs them together —
 	// the throughput-oriented configuration of the paper's large-batch
-	// discussion.
+	// discussion. Legacy prefill-only model.
 	StaticBatch Policy = iota
 	// GreedyBatch takes whatever is queued (up to MaxBatch) the moment
-	// the device frees — the continuous-batching-style policy that
-	// approaches low-batch latency at low load and scales batches with
-	// pressure, in the spirit of vLLM/Orca.
+	// the device frees — batch-level continuous batching. Legacy
+	// prefill-only model.
 	GreedyBatch
+	// ContinuousBatch schedules at iteration granularity (Orca-style):
+	// new requests join the running batch between decode steps, finished
+	// requests leave immediately, and a KV-cache capacity model gates
+	// admission. Simulated on the discrete-event calendar.
+	ContinuousBatch
+	// ChunkedPrefill is ContinuousBatch with long prompts split into
+	// PrefillChunk-token chunks so prefill work interleaves with decode
+	// steps instead of stalling them (Sarathi/vLLM-style).
+	ChunkedPrefill
 )
 
 func (p Policy) String() string {
-	if p == StaticBatch {
+	switch p {
+	case StaticBatch:
 		return "static"
+	case GreedyBatch:
+		return "greedy"
+	case ContinuousBatch:
+		return "continuous"
+	case ChunkedPrefill:
+		return "chunked-prefill"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
 	}
-	return "greedy"
+}
+
+// ParsePolicy maps a CLI name to a Policy.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "static":
+		return StaticBatch, nil
+	case "greedy":
+		return GreedyBatch, nil
+	case "continuous":
+		return ContinuousBatch, nil
+	case "chunked", "chunked-prefill":
+		return ChunkedPrefill, nil
+	}
+	return 0, fmt.Errorf("serve: unknown policy %q (have static|greedy|continuous|chunked-prefill)", name)
 }
 
 // Config parameterizes a serving simulation.
 type Config struct {
 	Platform *hw.Platform
 	Model    *models.Config
-	Seq      int64
-	Mode     engine.Mode
-	Policy   Policy
+	// Seq is the default prompt length for requests with PromptLen == 0.
+	Seq    int64
+	Mode   engine.Mode
+	Policy Policy
 	// BatchSize is the target batch for StaticBatch.
 	BatchSize int
-	// MaxBatch caps GreedyBatch group size.
+	// MaxBatch caps GreedyBatch group size and the ContinuousBatch /
+	// ChunkedPrefill running-set size.
 	MaxBatch int
 	// MaxWait bounds how long StaticBatch holds a partial batch.
 	MaxWait sim.Time
+
+	// Continuous-batching knobs (ContinuousBatch / ChunkedPrefill).
+
+	// DefaultOutputLen is the generation length for requests with
+	// OutputLen == 0 (default 1: prefill-equivalent).
+	DefaultOutputLen int64
+	// PrefillChunk is the chunk size (tokens) for ChunkedPrefill
+	// (default 512).
+	PrefillChunk int64
+	// KVMemoryUtil is the fraction of GPU HBM usable for weights + KV
+	// cache (default 0.9, vLLM's gpu_memory_utilization).
+	KVMemoryUtil float64
+	// KVCapacityBytes overrides the derived KV budget when positive
+	// (tests use it to force tiny caches).
+	KVCapacityBytes float64
+	// TTFTSLO is the time-to-first-token service-level objective used
+	// for goodput accounting (0 disables: goodput == throughput).
+	TTFTSLO sim.Time
+	// AbandonAfter drops requests never admitted within this window of
+	// arrival (0: never). Admission cancels the request's calendar
+	// timer for good — a request that started streaming output is
+	// served to completion even if KV pressure later preempts and
+	// recomputes it.
+	AbandonAfter sim.Time
+	// LatencyBucket quantizes (seq, kvLen) when caching engine latencies
+	// (default 64 tokens). Coarser buckets run faster, finer buckets are
+	// more precise.
+	LatencyBucket int64
 }
 
 func (c *Config) validate() error {
@@ -74,27 +151,87 @@ func (c *Config) validate() error {
 		return fmt.Errorf("serve: static policy needs a positive batch size")
 	case c.Policy == GreedyBatch && c.MaxBatch <= 0:
 		return fmt.Errorf("serve: greedy policy needs a positive max batch")
+	case (c.Policy == ContinuousBatch || c.Policy == ChunkedPrefill) && c.MaxBatch <= 0:
+		return fmt.Errorf("serve: %s policy needs a positive max batch", c.Policy)
+	case c.KVMemoryUtil < 0 || c.KVMemoryUtil > 1:
+		return fmt.Errorf("serve: KVMemoryUtil must be in [0,1], got %g", c.KVMemoryUtil)
 	}
 	return nil
 }
 
-// Stats summarizes a serving simulation.
+// SamplePoint is one (time, value) observation of a server state series.
+type SamplePoint struct {
+	T sim.Time
+	V float64
+}
+
+// Stats summarizes a serving simulation. The legacy prefill-only
+// policies populate the TTFT block only; the continuous policies fill
+// every field.
 type Stats struct {
-	Requests   int
-	Horizon    sim.Time // last completion time
-	MeanTTFT   sim.Time // arrival → batch completion, averaged
-	P50TTFT    sim.Time
-	P95TTFT    sim.Time
-	MaxTTFT    sim.Time
-	Throughput float64 // requests per second over the horizon
+	Requests int
+	// Completed counts requests that finished generation (== Requests
+	// for the legacy policies, which have no abandonment).
+	Completed int
+	// Abandoned counts requests dropped after waiting AbandonAfter.
+	Abandoned int
+	// Preemptions counts KV-pressure evictions of running requests.
+	Preemptions int
+	Horizon     sim.Time // last completion time
+
+	// TTFT: arrival → first output token.
+	MeanTTFT sim.Time
+	P50TTFT  sim.Time
+	P95TTFT  sim.Time
+	P99TTFT  sim.Time
+	MaxTTFT  sim.Time
+
+	// TPOT: mean inter-token time per request, aggregated (continuous
+	// policies only; zero when no request decodes more than one token).
+	MeanTPOT sim.Time
+	P50TPOT  sim.Time
+	P95TPOT  sim.Time
+
+	// E2E: arrival → final token (continuous policies only).
+	MeanE2E sim.Time
+	P50E2E  sim.Time
+	P95E2E  sim.Time
+	MaxE2E  sim.Time
+
+	Throughput float64 // completed requests per second over the horizon
+	// TokensPerSec is generated-token throughput (continuous only).
+	TokensPerSec float64
+	// Goodput is completed-requests-per-second meeting TTFTSLO
+	// (== Throughput when no SLO is set).
+	Goodput float64
+	// SLOAttainment is the fraction of completed requests meeting
+	// TTFTSLO (1 when no SLO is set).
+	SLOAttainment float64
+
 	// MeanBatch is the average executed batch size — where on the
 	// latency/throughput curve the policy actually operated.
 	MeanBatch float64
-	Batches   int
+	// Batches counts executed batches (legacy) or iterations
+	// (continuous).
+	Batches int
+
+	// KV-cache occupancy (continuous policies only).
+	KVCapacityBytes float64
+	PeakKVBytes     float64
+	PeakKVFrac      float64
+	MeanKVFrac      float64 // time-weighted over the horizon
+	// KVOccupancy samples the KV-used fraction at every scheduling
+	// event.
+	KVOccupancy []SamplePoint
+	// QueueDepth samples the waiting-queue length at every scheduling
+	// event.
+	QueueDepth    []SamplePoint
+	MaxQueueDepth int
 }
 
 // latencyModel caches per-batch-size prefill latency from the engine:
-// the serving layer treats the device as busy for TTFT(batch) per batch.
+// the legacy serving layer treats the device as busy for TTFT(batch)
+// per batch.
 type latencyModel struct {
 	cfg   *Config
 	cache map[int]sim.Time
@@ -116,9 +253,9 @@ func (lm *latencyModel) ttft(batch int) (sim.Time, error) {
 }
 
 // Simulate runs the server over the request stream (sorted by arrival)
-// and returns latency statistics. The simulation is a deterministic
-// event walk: the device serves one batch at a time (the single-stream
-// regime the paper profiles).
+// and returns latency statistics. Legacy policies use a deterministic
+// event walk where the device serves one batch at a time; continuous
+// policies run the calendar-driven iteration-level simulator.
 func Simulate(cfg Config, requests []Request) (*Stats, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -129,6 +266,10 @@ func Simulate(cfg Config, requests []Request) (*Stats, error) {
 	reqs := make([]Request, len(requests))
 	copy(reqs, requests)
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+
+	if cfg.Policy == ContinuousBatch || cfg.Policy == ChunkedPrefill {
+		return simulateContinuous(cfg, reqs)
+	}
 
 	lm := &latencyModel{cfg: &cfg, cache: make(map[int]sim.Time)}
 	stats := &Stats{Requests: len(reqs)}
@@ -196,24 +337,29 @@ func Simulate(cfg Config, requests []Request) (*Stats, error) {
 	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	var sum sim.Time
-	for _, l := range latencies {
-		sum += l
-	}
-	stats.MeanTTFT = sum / sim.Time(len(latencies))
-	stats.P50TTFT = latencies[len(latencies)/2]
-	stats.P95TTFT = latencies[(len(latencies)*95)/100]
+	stats.Completed = stats.Requests
+	stats.MeanTTFT = meanTime(latencies)
+	stats.P50TTFT = percentileSorted(latencies, 50)
+	stats.P95TTFT = percentileSorted(latencies, 95)
+	stats.P99TTFT = percentileSorted(latencies, 99)
 	stats.MaxTTFT = latencies[len(latencies)-1]
 	stats.Horizon = deviceFree
 	stats.Throughput = float64(stats.Requests) / stats.Horizon.Seconds()
+	stats.SLOAttainment, stats.Goodput = sloGoodput(latencies, cfg.TTFTSLO, stats.Horizon, stats.Throughput)
 	stats.MeanBatch = float64(totalBatch) / float64(stats.Batches)
 	return stats, nil
 }
 
 // PoissonArrivals generates n requests with exponential inter-arrival
 // times at the given rate (requests/second), deterministically from the
-// seed.
-func PoissonArrivals(n int, ratePerSec float64, seed int64) []Request {
+// seed. n and ratePerSec must be positive.
+func PoissonArrivals(n int, ratePerSec float64, seed int64) ([]Request, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: PoissonArrivals needs a positive request count, got %d", n)
+	}
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("serve: PoissonArrivals needs a positive rate, got %g req/s", ratePerSec)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	reqs := make([]Request, n)
 	var t float64 // seconds
@@ -221,11 +367,20 @@ func PoissonArrivals(n int, ratePerSec float64, seed int64) []Request {
 		t += rng.ExpFloat64() / ratePerSec
 		reqs[i] = Request{ID: i, Arrival: sim.Time(t * 1e9)}
 	}
-	return reqs
+	return reqs, nil
 }
 
-// UniformArrivals generates n requests at a fixed interval.
+// UniformArrivals generates n requests at a fixed non-negative
+// interval. Unlike PoissonArrivals — whose rate is often computed from
+// data — both arguments are invariably literals, so invalid values are
+// programmer errors and panic (the regexp.MustCompile convention).
 func UniformArrivals(n int, interval sim.Time) []Request {
+	if n <= 0 {
+		panic(fmt.Sprintf("serve: UniformArrivals needs a positive request count, got %d", n))
+	}
+	if interval < 0 {
+		panic(fmt.Sprintf("serve: UniformArrivals needs a non-negative interval, got %v", interval))
+	}
 	reqs := make([]Request, n)
 	for i := range reqs {
 		reqs[i] = Request{ID: i, Arrival: sim.Time(i) * interval}

@@ -146,8 +146,14 @@ func TestSimulateValidation(t *testing.T) {
 }
 
 func TestPoissonArrivals(t *testing.T) {
-	a := PoissonArrivals(100, 50, 42)
-	b := PoissonArrivals(100, 50, 42)
+	a, err := PoissonArrivals(100, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PoissonArrivals(100, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a) != 100 {
 		t.Fatalf("len = %d", len(a))
 	}
@@ -166,13 +172,47 @@ func TestPoissonArrivals(t *testing.T) {
 	}
 }
 
+func TestPoissonArrivalsValidation(t *testing.T) {
+	if _, err := PoissonArrivals(0, 50, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := PoissonArrivals(-3, 50, 1); err == nil {
+		t.Error("negative n should fail")
+	}
+	if _, err := PoissonArrivals(10, 0, 1); err == nil {
+		t.Error("rate=0 should fail (previously produced +Inf arrivals)")
+	}
+	if _, err := PoissonArrivals(10, -5, 1); err == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestUniformArrivalsValidation(t *testing.T) {
+	for _, tc := range []struct {
+		n        int
+		interval sim.Time
+	}{{0, sim.Millisecond}, {-1, sim.Millisecond}, {5, -sim.Millisecond}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("UniformArrivals(%d, %v) should panic", tc.n, tc.interval)
+				}
+			}()
+			UniformArrivals(tc.n, tc.interval)
+		}()
+	}
+}
+
 // Property: every request's latency is at least the batch-1 service time
 // floor... more precisely positive, and conservation holds: served
 // count equals offered count for any arrival pattern.
 func TestSimulateConservation(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
 		count := int(n%20) + 1
-		reqs := PoissonArrivals(count, 200, seed)
+		reqs, err := PoissonArrivals(count, 200, seed)
+		if err != nil {
+			return false
+		}
 		stats, err := Simulate(baseConfig(GreedyBatch), reqs)
 		if err != nil {
 			return false

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"testing"
+)
+
+func TestWorkloadDeterministic(t *testing.T) {
+	for _, scen := range Scenarios() {
+		w := Workload{Scenario: scen, N: 40, RatePerSec: 30, Seed: 5}
+		a, err := w.Generate()
+		if err != nil {
+			t.Fatalf("%v: %v", scen, err)
+		}
+		b, err := w.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != 40 || len(b) != 40 {
+			t.Fatalf("%v: lengths %d/%d", scen, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: request %d differs between runs with the same seed", scen, i)
+			}
+		}
+		other, err := Workload{Scenario: scen, N: 40, RatePerSec: 30, Seed: 6}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%v: different seeds produced identical streams", scen)
+		}
+	}
+}
+
+func TestWorkloadShapes(t *testing.T) {
+	for _, scen := range Scenarios() {
+		reqs, err := Workload{Scenario: scen, N: 60, RatePerSec: 40, Seed: 1}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range reqs {
+			if r.PromptLen <= 0 || r.OutputLen <= 0 {
+				t.Fatalf("%v: request %d has empty lengths: %+v", scen, i, r)
+			}
+			if i > 0 && r.Arrival < reqs[i-1].Arrival {
+				t.Fatalf("%v: arrivals must be sorted", scen)
+			}
+		}
+	}
+
+	// Summarization prompts dominate chat prompts; outputs do not.
+	chat, _ := Workload{Scenario: ScenarioChat, N: 80, RatePerSec: 40, Seed: 2}.Generate()
+	sum, _ := Workload{Scenario: ScenarioSummarize, N: 80, RatePerSec: 40, Seed: 2}.Generate()
+	if meanPrompt(sum) <= 2*meanPrompt(chat) {
+		t.Errorf("summarize mean prompt %.0f should dwarf chat %.0f", meanPrompt(sum), meanPrompt(chat))
+	}
+	if meanOutput(sum) >= meanOutput(chat) {
+		t.Errorf("summarize mean output %.0f should undercut chat %.0f", meanOutput(sum), meanOutput(chat))
+	}
+}
+
+func TestWorkloadOverrides(t *testing.T) {
+	reqs, err := Workload{
+		Scenario: ScenarioChat, N: 50, RatePerSec: 20, Seed: 3,
+		Prompt: LengthDist{Mean: 100, Sigma: 0.2, Min: 64, Max: 128},
+		Output: LengthDist{Mean: 10, Sigma: 0, Min: 10, Max: 10},
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if r.PromptLen < 64 || r.PromptLen > 128 {
+			t.Fatalf("prompt %d outside clamp [64,128]", r.PromptLen)
+		}
+		if r.OutputLen != 10 {
+			t.Fatalf("sigma=0 output should be exactly 10, got %d", r.OutputLen)
+		}
+	}
+}
+
+func TestWorkloadAgenticGrowsContext(t *testing.T) {
+	reqs, err := Workload{
+		Scenario: ScenarioAgentic, N: 40, RatePerSec: 20, Seed: 4,
+		Turns: 4, ContextGrowth: 200,
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Later turns of a trajectory carry more context, so the stream's
+	// overall prompt spread must exceed one turn's worth of growth.
+	var min, max int64 = 1 << 62, 0
+	for _, r := range reqs {
+		if r.PromptLen < min {
+			min = r.PromptLen
+		}
+		if r.PromptLen > max {
+			max = r.PromptLen
+		}
+	}
+	if max-min < 200 {
+		t.Errorf("prompt spread %d–%d: trajectories should grow by ≥200/turn", min, max)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := (Workload{Scenario: ScenarioChat, N: 0, RatePerSec: 10}).Generate(); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := (Workload{Scenario: ScenarioChat, N: 10, RatePerSec: 0}).Generate(); err == nil {
+		t.Error("rate=0 should fail")
+	}
+	if _, err := ParseScenario("nope"); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	for _, s := range Scenarios() {
+		got, err := ParseScenario(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScenario(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	for _, p := range []Policy{StaticBatch, GreedyBatch, ContinuousBatch, ChunkedPrefill} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func meanPrompt(reqs []Request) float64 {
+	var s int64
+	for _, r := range reqs {
+		s += r.PromptLen
+	}
+	return float64(s) / float64(len(reqs))
+}
+
+func meanOutput(reqs []Request) float64 {
+	var s int64
+	for _, r := range reqs {
+		s += r.OutputLen
+	}
+	return float64(s) / float64(len(reqs))
+}

@@ -231,22 +231,44 @@ func LoadPlatformFile(path string) (*Platform, error) { return hw.LoadPlatformFi
 
 // Serving-layer aliases: simulate an inference server with a batching
 // policy over the platform simulator (paper §II-A's latency/throughput
-// trade-off).
+// trade-off). The continuous policies run a discrete-event,
+// iteration-level (Orca-style) scheduler with a KV-cache capacity
+// model; see the serve package documentation.
 type (
 	// ServeConfig parameterizes a serving simulation.
 	ServeConfig = serve.Config
-	// ServeStats summarizes request latencies and throughput.
+	// ServeStats summarizes request latencies, throughput, goodput, and
+	// KV-cache occupancy.
 	ServeStats = serve.Stats
-	// ServeRequest is one arriving inference request.
+	// ServeRequest is one arriving inference request (with per-request
+	// prompt and output lengths).
 	ServeRequest = serve.Request
 	// ServePolicy selects the batching policy.
 	ServePolicy = serve.Policy
+	// ServeWorkload generates deterministic scenario request streams.
+	ServeWorkload = serve.Workload
+	// ServeScenario names a workload shape (chat, agentic, …).
+	ServeScenario = serve.Scenario
+	// ServeLengthDist is a clamped lognormal token-length distribution.
+	ServeLengthDist = serve.LengthDist
+	// ServeSample is one (time, value) point of a server state series.
+	ServeSample = serve.SamplePoint
 )
 
 // Batching policies.
 const (
-	StaticBatch = serve.StaticBatch
-	GreedyBatch = serve.GreedyBatch
+	StaticBatch     = serve.StaticBatch
+	GreedyBatch     = serve.GreedyBatch
+	ContinuousBatch = serve.ContinuousBatch
+	ChunkedPrefill  = serve.ChunkedPrefill
+)
+
+// Workload scenarios.
+const (
+	ScenarioChat      = serve.ScenarioChat
+	ScenarioAgentic   = serve.ScenarioAgentic
+	ScenarioSummarize = serve.ScenarioSummarize
+	ScenarioMixed     = serve.ScenarioMixed
 )
 
 // Serve simulates an inference server over a request stream.
@@ -254,12 +276,27 @@ func Serve(cfg ServeConfig, requests []ServeRequest) (*ServeStats, error) {
 	return serve.Simulate(cfg, requests)
 }
 
+// ParseServePolicy maps a CLI name ("continuous", "static", …) to a
+// policy.
+func ParseServePolicy(name string) (ServePolicy, error) { return serve.ParsePolicy(name) }
+
+// ParseServeScenario maps a CLI name ("chat", "agentic", …) to a
+// workload scenario.
+func ParseServeScenario(name string) (ServeScenario, error) { return serve.ParseScenario(name) }
+
 // PoissonArrivals generates a deterministic Poisson request stream.
-func PoissonArrivals(n int, ratePerSec float64, seed int64) []ServeRequest {
+func PoissonArrivals(n int, ratePerSec float64, seed int64) ([]ServeRequest, error) {
 	return serve.PoissonArrivals(n, ratePerSec, seed)
 }
 
-// UniformArrivals generates a fixed-interval request stream.
+// UniformArrivals generates a fixed-interval request stream. It panics
+// on a non-positive count or negative interval (programmer error);
+// PoissonArrivals returns an error instead for its data-dependent rate.
 func UniformArrivals(n int, interval Time) []ServeRequest {
 	return serve.UniformArrivals(n, interval)
 }
+
+// GenerateWorkload produces a scenario's request stream (chat, agentic
+// multi-turn, long-context summarization, or a mix), deterministic for
+// a fixed seed.
+func GenerateWorkload(w ServeWorkload) ([]ServeRequest, error) { return w.Generate() }
