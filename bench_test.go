@@ -59,6 +59,8 @@ func BenchmarkExt4AblationLaunch(b *testing.B)    { benchArtifact(b, "ext4-ablat
 func BenchmarkExt5AblationBandwidth(b *testing.B) { benchArtifact(b, "ext5-ablation-bandwidth") }
 func BenchmarkExt6Serving(b *testing.B)           { benchArtifact(b, "ext6-serving") }
 func BenchmarkExt7TCProjection(b *testing.B)      { benchArtifact(b, "ext7-tc-projection") }
+func BenchmarkExt8Continuous(b *testing.B)        { benchArtifact(b, "ext8-continuous") }
+func BenchmarkExt9Cluster(b *testing.B)           { benchArtifact(b, "ext9-cluster") }
 
 // Micro-benchmarks of the library's hot paths.
 

@@ -50,6 +50,8 @@ func main() {
 		err = cmdGenerate(args)
 	case "serve":
 		err = cmdServe(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "microbench":
 		err = cmdMicrobench()
 	case "-h", "--help", "help":
@@ -79,6 +81,10 @@ commands:
   serve        simulate an inference server under a request load
                (-policy static|greedy|continuous|chunked-prefill,
                 -workload chat|agentic|summarize|mixed|fixed)
+  cluster      simulate a multi-instance heterogeneous fleet behind a
+               router (-fleet GH200:4,Intel+H100:4, -router round-robin|
+               least-queue|least-kv|session-affinity|platform-aware,
+               -admit-rate token-bucket admission)
   microbench   nullKernel launch-overhead microbenchmark (Table V)`)
 }
 
@@ -130,8 +136,12 @@ func newRunFlags(name string) *runFlags {
 	}
 }
 
-func (rf *runFlags) parseMode() (skip.Mode, error) {
-	switch *rf.mode {
+func (rf *runFlags) parseMode() (skip.Mode, error) { return parseModeName(*rf.mode) }
+
+// parseModeName maps a -mode flag value to an execution mode for every
+// subcommand.
+func parseModeName(name string) (skip.Mode, error) {
+	switch name {
 	case "eager":
 		return skip.ModeEager, nil
 	case "flash", "flash_attention_2":
@@ -143,7 +153,7 @@ func (rf *runFlags) parseMode() (skip.Mode, error) {
 	case "compile-max-autotune":
 		return skip.ModeCompileMaxAutotune, nil
 	}
-	return 0, fmt.Errorf("unknown mode %q", *rf.mode)
+	return 0, fmt.Errorf("unknown mode %q", name)
 }
 
 func cmdRun(args []string) error {

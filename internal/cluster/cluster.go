@@ -1,0 +1,155 @@
+// Package cluster simulates a multi-instance inference fleet under one
+// shared clock: N continuous-batching instances (serve.Instance, each a
+// full iteration-level scheduler with its own KV-capacity model) behind
+// a front-end that applies token-bucket admission control and a
+// pluggable routing policy. Because every instance runs on the same
+// sim.Calendar, events interleave in global timestamp order and a fixed
+// request stream reproduces byte-identical statistics.
+//
+// This answers the fleet-scale question the single-instance simulator
+// cannot: the paper shows coupled (GH200) and loosely-coupled
+// (Intel+H100) platforms win in different regimes — BS=1 TTFT versus
+// large-batch decode — so how should a router split live traffic across
+// a mixed fleet? The routing policies range from oblivious
+// (round-robin) through load- and KV-aware to the platform-aware split
+// that encodes the paper's regime boundary directly.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// Config parameterizes a cluster simulation.
+type Config struct {
+	// Instances holds one serving config per instance. Every config
+	// must use a continuous policy (ContinuousBatch or ChunkedPrefill);
+	// platforms may differ freely — that heterogeneity is the point.
+	Instances []serve.Config
+	// Policy selects the routing policy (default RoundRobin).
+	Policy Policy
+	// ShortPrompt is the platform-aware policy's regime boundary in
+	// prompt tokens: requests at or below it prefer coupled instances
+	// (default 512).
+	ShortPrompt int64
+	// TTFTSLO is the fleet-level time-to-first-token objective for
+	// aggregate goodput accounting; it is also copied into instance
+	// configs that set none of their own (0 disables).
+	TTFTSLO sim.Time
+	// AdmitRatePerSec enables token-bucket admission control: requests
+	// beyond this sustained rate are rejected at the front door instead
+	// of queueing (0 disables).
+	AdmitRatePerSec float64
+	// AdmitBurst is the bucket depth in requests (default: one second's
+	// refill, minimum 1).
+	AdmitBurst float64
+}
+
+func (c *Config) validate() error {
+	if len(c.Instances) == 0 {
+		return fmt.Errorf("cluster: config needs at least one instance")
+	}
+	for i := range c.Instances {
+		if c.Instances[i].Platform == nil {
+			return fmt.Errorf("cluster: instance %d needs a platform", i)
+		}
+	}
+	if c.AdmitRatePerSec < 0 {
+		return fmt.Errorf("cluster: admission rate must be non-negative, got %g", c.AdmitRatePerSec)
+	}
+	return nil
+}
+
+// Simulate runs the fleet over the request stream and returns
+// fleet-level statistics. Requests are routed at their arrival instant
+// against the instances' live scheduler state; the whole simulation is
+// deterministic for a fixed stream and config.
+func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(requests) == 0 {
+		return nil, fmt.Errorf("cluster: no requests")
+	}
+	reqs := make([]serve.Request, len(requests))
+	copy(reqs, requests)
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+
+	cal := sim.NewCalendar()
+	instances := make([]*serve.Instance, len(cfg.Instances))
+	for i, icfg := range cfg.Instances {
+		if icfg.TTFTSLO == 0 {
+			icfg.TTFTSLO = cfg.TTFTSLO
+		}
+		name := fmt.Sprintf("%s#%d", icfg.Platform.Name, i)
+		in, err := serve.NewInstance(name, icfg, cal)
+		if err != nil {
+			return nil, err
+		}
+		instances[i] = in
+	}
+
+	rt := newRouter(cfg.Policy, cfg.ShortPrompt)
+	var admit *tokenBucket
+	if cfg.AdmitRatePerSec > 0 {
+		admit = newTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
+	}
+
+	var rejected, unroutable int
+	var routeErr error
+	for i := range reqs {
+		req := reqs[i]
+		cal.Schedule(req.Arrival, func(now sim.Time) {
+			if routeErr != nil {
+				return
+			}
+			if admit != nil && !admit.allow(now) {
+				rejected++
+				return
+			}
+			idx := rt.pick(req, instances)
+			if idx < 0 {
+				unroutable++
+				return
+			}
+			if err := instances[idx].Accept(now, req); err != nil {
+				// pick only offers fitting instances, so Accept cannot
+				// refuse; treat a refusal as the bug it would be.
+				routeErr = fmt.Errorf("cluster: %s refused routed request %d: %w",
+					instances[idx].Name(), req.ID, err)
+			}
+		})
+	}
+	cal.Run()
+	if routeErr != nil {
+		return nil, routeErr
+	}
+	for _, in := range instances {
+		if err := in.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: instance %s: %w", in.Name(), err)
+		}
+	}
+
+	st := assembleStats(cfg, instances, len(reqs), rejected, unroutable)
+
+	// Conservation invariant: every offered request is accounted for
+	// exactly once — rejected at the door, unroutable, or routed and
+	// then completed/abandoned by its instance. A violation means the
+	// fleet lost or duplicated a request across routing, queueing,
+	// preemption, or abandonment.
+	if st.Offered != st.Rejected+st.Unroutable+st.Routed {
+		return nil, fmt.Errorf("cluster: request accounting broken: offered %d != rejected %d + unroutable %d + routed %d",
+			st.Offered, st.Rejected, st.Unroutable, st.Routed)
+	}
+	for i := range st.Instances {
+		is := &st.Instances[i]
+		if is.Serve.Requests != is.Routed {
+			return nil, fmt.Errorf("cluster: %s settled %d of %d routed requests",
+				is.Name, is.Serve.Requests, is.Routed)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/serve"
+)
+
+// FleetGroup is one homogeneous slice of a fleet: count instances of
+// one platform.
+type FleetGroup struct {
+	Platform *hw.Platform
+	Count    int
+}
+
+// ParseFleet parses a CLI fleet spec like "GH200:4,Intel+H100:4" into
+// fleet groups, resolving each platform from the catalog. Platform
+// names may contain '+' but not ':' or ','.
+func ParseFleet(spec string) ([]FleetGroup, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty fleet spec")
+	}
+	var groups []FleetGroup
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, countStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: fleet entry %q needs the form platform:count", part)
+		}
+		count, err := strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("cluster: fleet entry %q needs a positive instance count", part)
+		}
+		p, err := hw.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, FleetGroup{Platform: p, Count: count})
+	}
+	return groups, nil
+}
+
+// FleetConfigs expands fleet groups over a base serving config: every
+// instance inherits the base (model, policy, KV knobs, SLO) with its
+// group's platform substituted in. This is the common case — a
+// heterogeneous fleet serving one model — while callers needing
+// per-instance knobs build Config.Instances by hand.
+func FleetConfigs(groups []FleetGroup, base serve.Config) []serve.Config {
+	var cfgs []serve.Config
+	for _, g := range groups {
+		for i := 0; i < g.Count; i++ {
+			cfg := base
+			cfg.Platform = g.Platform
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}

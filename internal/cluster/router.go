@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/serve"
+)
+
+// Policy selects how the front-end router places requests on instances.
+type Policy int
+
+const (
+	// RoundRobin cycles through the instances, skipping those the
+	// request can never fit on — the baseline that ignores load and
+	// platform asymmetry entirely.
+	RoundRobin Policy = iota
+	// LeastQueue sends each request to the instance with the fewest
+	// outstanding (queued + running) requests, ties to the lowest
+	// index.
+	LeastQueue
+	// LeastKV sends each request to the instance with the lowest
+	// committed KV pressure — admitted occupancy plus the queue's
+	// unadmitted prompt footprints, as a fraction of that instance's
+	// budget. On a heterogeneous fleet this is capacity-aware where
+	// LeastQueue is not: an instance with a small KV budget repels load
+	// earlier (APEX-style placement by KV asymmetry).
+	LeastKV
+	// SessionAffinity pins every request of a session (agentic
+	// trajectory, multi-turn chat) to the instance that served its
+	// first turn, modeling KV-reuse locality; sessionless requests and
+	// new sessions fall back to least-outstanding placement.
+	SessionAffinity
+	// PlatformAware routes by the paper's regime split: short-prompt,
+	// latency-critical requests prefer coupled (GH200-class) instances
+	// — whose BS=1 TTFT advantage is the paper's headline — while
+	// long-context, throughput-oriented requests prefer loosely-coupled
+	// discrete instances, keeping the coupled nodes' batches small.
+	// Within the preferred group it places least-outstanding, falling
+	// back to the other group when no preferred instance fits.
+	PlatformAware
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastQueue:
+		return "least-queue"
+	case LeastKV:
+		return "least-kv"
+	case SessionAffinity:
+		return "session-affinity"
+	case PlatformAware:
+		return "platform-aware"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a CLI name to a routing policy.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "round-robin", "rr":
+		return RoundRobin, nil
+	case "least-queue", "lq":
+		return LeastQueue, nil
+	case "least-kv", "kv":
+		return LeastKV, nil
+	case "session-affinity", "affinity":
+		return SessionAffinity, nil
+	case "platform-aware", "platform":
+		return PlatformAware, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown routing policy %q (have round-robin|least-queue|least-kv|session-affinity|platform-aware)", name)
+}
+
+// Policies lists the routing policies in presentation order.
+func Policies() []Policy {
+	return []Policy{RoundRobin, LeastQueue, LeastKV, SessionAffinity, PlatformAware}
+}
+
+// router holds the mutable routing state: the round-robin cursor and
+// the session→instance pin table. All decisions are deterministic —
+// ties break to the lowest instance index and the session table is only
+// ever read by key, never iterated.
+type router struct {
+	policy      Policy
+	shortPrompt int64
+	next        int
+	sessions    map[int64]int
+}
+
+func newRouter(policy Policy, shortPrompt int64) *router {
+	if shortPrompt <= 0 {
+		shortPrompt = 512
+	}
+	return &router{policy: policy, shortPrompt: shortPrompt, sessions: make(map[int64]int)}
+}
+
+// pick returns the instance index for the request, or -1 when no
+// instance can ever fit it (the caller counts it unroutable). Only
+// instances where the request's lifetime KV footprint fits are
+// considered.
+func (r *router) pick(req serve.Request, instances []*serve.Instance) int {
+	switch r.policy {
+	case RoundRobin:
+		n := len(instances)
+		for k := 0; k < n; k++ {
+			idx := (r.next + k) % n
+			if instances[idx].Fits(req) {
+				r.next = (idx + 1) % n
+				return idx
+			}
+		}
+		return -1
+	case LeastKV:
+		return leastBy(req, instances, func(in *serve.Instance) float64 { return in.KVPressure() })
+	case SessionAffinity:
+		if req.SessionID != 0 {
+			if idx, ok := r.sessions[req.SessionID]; ok && instances[idx].Fits(req) {
+				return idx
+			}
+			idx := leastOutstanding(req, instances)
+			if idx >= 0 {
+				r.sessions[req.SessionID] = idx
+			}
+			return idx
+		}
+		return leastOutstanding(req, instances)
+	case PlatformAware:
+		if req.PromptLen <= 0 {
+			// Unknown length (the instance will fall back to its
+			// configured Seq): no regime signal, balance neutrally.
+			return leastOutstanding(req, instances)
+		}
+		wantCoupled := req.PromptLen <= r.shortPrompt
+		if idx := leastBy(req, instances, func(in *serve.Instance) float64 {
+			if coupled(in) != wantCoupled {
+				return -1 // filtered
+			}
+			return float64(in.Outstanding())
+		}); idx >= 0 {
+			return idx
+		}
+		return leastOutstanding(req, instances)
+	default: // LeastQueue
+		return leastOutstanding(req, instances)
+	}
+}
+
+func coupled(in *serve.Instance) bool {
+	return in.Platform().Coupling != hw.LooselyCoupled
+}
+
+func leastOutstanding(req serve.Request, instances []*serve.Instance) int {
+	return leastBy(req, instances, func(in *serve.Instance) float64 { return float64(in.Outstanding()) })
+}
+
+// leastBy returns the fitting instance minimizing score, ties to the
+// lowest index; a negative score excludes the instance. Returns -1 when
+// nothing qualifies.
+func leastBy(req serve.Request, instances []*serve.Instance, score func(*serve.Instance) float64) int {
+	best, bestScore := -1, 0.0
+	for i, in := range instances {
+		if !in.Fits(req) {
+			continue
+		}
+		s := score(in)
+		if s < 0 {
+			continue
+		}
+		if best < 0 || s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"math"
+
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// InstanceStats pairs one instance's identity and routed count with its
+// full serving statistics.
+type InstanceStats struct {
+	Name     string
+	Platform string
+	// Routed counts requests the router placed on this instance.
+	Routed int
+	Serve  serve.Stats
+}
+
+// Stats summarizes a fleet simulation. The aggregate latency
+// percentiles are computed over the pooled per-request samples from all
+// instances — not averaged per-instance percentiles — so they are the
+// fleet's true distribution.
+type Stats struct {
+	// RouterPolicy names the routing policy that produced these stats.
+	RouterPolicy string
+
+	// Offered counts requests presented to the front-end; each is then
+	// exactly one of: Rejected (admission control), Unroutable (fits no
+	// instance's KV budget), or Routed.
+	Offered    int
+	Rejected   int
+	Unroutable int
+	Routed     int
+
+	// Completed / Abandoned / Preemptions sum over instances.
+	Completed   int
+	Abandoned   int
+	Preemptions int
+
+	// TTFT / TPOT / E2E over the pooled completed requests.
+	MeanTTFT, P50TTFT, P95TTFT, P99TTFT, MaxTTFT sim.Time
+	MeanTPOT, P50TPOT, P95TPOT                   sim.Time
+	MeanE2E, P50E2E, P95E2E, MaxE2E              sim.Time
+
+	// Horizon is the last completion across the fleet.
+	Horizon sim.Time
+	// Throughput / TokensPerSec are fleet totals over the horizon.
+	Throughput   float64
+	TokensPerSec float64
+	// Goodput is completed-requests-per-second meeting the fleet TTFT
+	// SLO; SLOAttainment is the fraction that met it (1 when unset).
+	Goodput       float64
+	SLOAttainment float64
+
+	// LoadImbalance is the coefficient of variation (stddev/mean) of
+	// per-instance routed counts: 0 for a perfectly even split, growing
+	// as the router concentrates load.
+	LoadImbalance float64
+
+	Instances []InstanceStats
+}
+
+// assembleStats pools per-instance results into fleet-level statistics.
+func assembleStats(cfg Config, instances []*serve.Instance, offered, rejected, unroutable int) *Stats {
+	st := &Stats{
+		RouterPolicy: cfg.Policy.String(),
+		Offered:      offered,
+		Rejected:     rejected,
+		Unroutable:   unroutable,
+	}
+	var ttfts, tpots, e2es []sim.Time
+	var tokensOut int64
+	for _, in := range instances {
+		is := in.Stats()
+		st.Routed += in.Routed()
+		st.Completed += is.Completed
+		st.Abandoned += is.Abandoned
+		st.Preemptions += is.Preemptions
+		if is.Horizon > st.Horizon {
+			st.Horizon = is.Horizon
+		}
+		tokensOut += is.TokensOut
+		t, p, e := in.Latencies()
+		ttfts = append(ttfts, t...)
+		tpots = append(tpots, p...)
+		e2es = append(e2es, e...)
+		st.Instances = append(st.Instances, InstanceStats{
+			Name:     in.Name(),
+			Platform: in.Platform().Name,
+			Routed:   in.Routed(),
+			Serve:    *is,
+		})
+	}
+
+	st.MeanTTFT, st.MaxTTFT = meanMax(ttfts)
+	st.P50TTFT = serve.Percentile(ttfts, 50)
+	st.P95TTFT = serve.Percentile(ttfts, 95)
+	st.P99TTFT = serve.Percentile(ttfts, 99)
+	st.MeanTPOT, _ = meanMax(tpots)
+	st.P50TPOT = serve.Percentile(tpots, 50)
+	st.P95TPOT = serve.Percentile(tpots, 95)
+	st.MeanE2E, st.MaxE2E = meanMax(e2es)
+	st.P50E2E = serve.Percentile(e2es, 50)
+	st.P95E2E = serve.Percentile(e2es, 95)
+
+	if st.Horizon > 0 {
+		sec := st.Horizon.Seconds()
+		st.Throughput = float64(st.Completed) / sec
+		st.TokensPerSec = float64(tokensOut) / sec
+	}
+	st.SLOAttainment, st.Goodput = serve.SLOGoodput(ttfts, cfg.TTFTSLO, st.Horizon, st.Throughput)
+	st.LoadImbalance = imbalance(st.Instances)
+	return st
+}
+
+func meanMax(ts []sim.Time) (mean, max sim.Time) {
+	if len(ts) == 0 {
+		return 0, 0
+	}
+	var sum sim.Time
+	for _, t := range ts {
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	return sum / sim.Time(len(ts)), max
+}
+
+// imbalance is the coefficient of variation of per-instance routed
+// counts.
+func imbalance(instances []InstanceStats) float64 {
+	if len(instances) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, is := range instances {
+		sum += float64(is.Routed)
+	}
+	mean := sum / float64(len(instances))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, is := range instances {
+		d := float64(is.Routed) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(instances))) / mean
+}

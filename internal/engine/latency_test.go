@@ -5,6 +5,7 @@ import (
 
 	"github.com/skipsim/skip/internal/hw"
 	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/sim"
 )
 
 func TestStepModelCachesByBucket(t *testing.T) {
@@ -113,5 +114,60 @@ func TestStepModelValidation(t *testing.T) {
 	}
 	if _, err := sm2.DecodeStep(2, 0); err == nil {
 		t.Error("zero kvLen should fail")
+	}
+}
+
+// TestStepModelCacheHitMatchesColdCompute pins the cache transparency
+// invariant: a latency served from the cache must be byte-identical to
+// the same configuration computed cold on a fresh model.
+func TestStepModelCacheHitMatchesColdCompute(t *testing.T) {
+	warm, err := NewStepModel(hw.GH200(), models.GPT2(), Eager, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDecode := func() sim.Time {
+		cold, err := NewStepModel(hw.GH200(), models.GPT2(), Eager, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := cold.DecodeStep(4, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	first, err := warm.DecodeStep(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := warm.DecodeStep(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CachedRuns() != 1 {
+		t.Fatalf("cached runs = %d, want 1: the repeat must be a hit", warm.CachedRuns())
+	}
+	if hit != first || hit != coldDecode() {
+		t.Errorf("cache hit %v, first compute %v, cold compute %v: all must match", hit, first, coldDecode())
+	}
+
+	pFirst, err := warm.Prefill(2, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHit, err := warm.Prefill(2, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldP, err := NewStepModel(hw.GH200(), models.GPT2(), Eager, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCold, err := coldP.Prefill(2, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pHit != pFirst || pHit != pCold {
+		t.Errorf("prefill cache hit %v, first %v, cold %v: all must match", pHit, pFirst, pCold)
 	}
 }

@@ -83,9 +83,11 @@ type contSim struct {
 	lastSampleT        sim.Time
 }
 
-// simulateContinuous runs the ContinuousBatch / ChunkedPrefill policies
-// over the (already sorted) request stream.
-func simulateContinuous(cfg Config, reqs []Request) (*Stats, error) {
+// newContSim builds a continuous-batching simulator on the given
+// calendar. Owning the calendar is the caller's business: Simulate
+// creates a private one and drains it, while cluster-level simulations
+// share one calendar across many instances (see serve.Instance).
+func newContSim(cfg Config, cal *sim.Calendar) (*contSim, error) {
 	if cfg.DefaultOutputLen <= 0 {
 		cfg.DefaultOutputLen = 1
 	}
@@ -101,7 +103,7 @@ func simulateContinuous(cfg Config, reqs []Request) (*Stats, error) {
 	}
 	s := &contSim{
 		cfg:         cfg,
-		cal:         sim.NewCalendar(),
+		cal:         cal,
 		sm:          sm,
 		bytesPerTok: kvBytesPerToken(cfg.Model),
 	}
@@ -115,24 +117,55 @@ func simulateContinuous(cfg Config, reqs []Request) (*Stats, error) {
 		return nil, fmt.Errorf("serve: %s does not fit on %s: KV budget %.2f GB after fp16 weights",
 			cfg.Model.Name, cfg.Platform.Name, s.capacity/1e9)
 	}
+	return s, nil
+}
 
+// lifetimeKV is the request's peak KV footprint given the config's
+// length fallbacks.
+func (s *contSim) lifetimeKV(req Request) float64 {
+	promptLen, outputLen := req.PromptLen, req.OutputLen
+	if promptLen <= 0 {
+		promptLen = s.cfg.Seq
+	}
+	if outputLen <= 0 {
+		outputLen = s.cfg.DefaultOutputLen
+	}
+	return float64(promptLen+outputLen) * s.bytesPerTok
+}
+
+// newRequest resolves a request's effective lengths and checks
+// feasibility: a request whose lifetime KV footprint exceeds the whole
+// budget would preempt-livelock, so it is rejected up front.
+func (s *contSim) newRequest(req Request) (*contRequest, error) {
+	cr := &contRequest{
+		req:       req,
+		promptLen: req.PromptLen,
+		outputLen: req.OutputLen,
+	}
+	if cr.promptLen <= 0 {
+		cr.promptLen = s.cfg.Seq
+	}
+	if cr.outputLen <= 0 {
+		cr.outputLen = s.cfg.DefaultOutputLen
+	}
+	if need := s.lifetimeKV(req); need > s.capacity {
+		return nil, fmt.Errorf("serve: request %d needs %.2f GB of KV (prompt %d + output %d tokens) but the budget is %.2f GB",
+			cr.req.ID, need/1e9, cr.promptLen, cr.outputLen, s.capacity/1e9)
+	}
+	return cr, nil
+}
+
+// simulateContinuous runs the ContinuousBatch / ChunkedPrefill policies
+// over the (already sorted) request stream.
+func simulateContinuous(cfg Config, reqs []Request) (*Stats, error) {
+	s, err := newContSim(cfg, sim.NewCalendar())
+	if err != nil {
+		return nil, err
+	}
 	for i := range reqs {
-		cr := &contRequest{
-			req:       reqs[i],
-			promptLen: reqs[i].PromptLen,
-			outputLen: reqs[i].OutputLen,
-		}
-		if cr.promptLen <= 0 {
-			cr.promptLen = cfg.Seq
-		}
-		if cr.outputLen <= 0 {
-			cr.outputLen = cfg.DefaultOutputLen
-		}
-		// Feasibility: a request whose lifetime KV footprint exceeds the
-		// whole budget would preempt-livelock; reject the stream up front.
-		if need := float64(cr.promptLen+cr.outputLen) * s.bytesPerTok; need > s.capacity {
-			return nil, fmt.Errorf("serve: request %d needs %.2f GB of KV (prompt %d + output %d tokens) but the budget is %.2f GB",
-				cr.req.ID, need/1e9, cr.promptLen, cr.outputLen, s.capacity/1e9)
+		cr, err := s.newRequest(reqs[i])
+		if err != nil {
+			return nil, err
 		}
 		s.cal.Schedule(cr.req.Arrival, func(now sim.Time) { s.arrive(now, cr) })
 	}
@@ -447,12 +480,13 @@ func (s *contSim) stats() *Stats {
 	if s.iterations > 0 {
 		st.MeanBatch = float64(s.totalBatch) / float64(s.iterations)
 	}
+	st.TokensOut = s.tokensOut
 	if s.lastCompletion > 0 {
 		sec := s.lastCompletion.Seconds()
 		st.Throughput = float64(s.completed) / sec
 		st.TokensPerSec = float64(s.tokensOut) / sec
 		st.MeanKVFrac = s.kvIntegral / float64(s.lastCompletion)
 	}
-	st.SLOAttainment, st.Goodput = sloGoodput(s.ttfts, s.cfg.TTFTSLO, s.lastCompletion, st.Throughput)
+	st.SLOAttainment, st.Goodput = SLOGoodput(s.ttfts, s.cfg.TTFTSLO, s.lastCompletion, st.Throughput)
 	return st
 }

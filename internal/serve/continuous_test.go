@@ -27,7 +27,7 @@ func gpt2KVBytesPerToken() float64 {
 }
 
 func TestContinuousBasics(t *testing.T) {
-	reqs := UniformArrivals(20, 5*sim.Millisecond)
+	reqs := mustUniform(t, 20, 5*sim.Millisecond)
 	stats, err := Simulate(contConfig(), reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestContinuousKVAdmissionBoundary(t *testing.T) {
 	// Room for one 64-token prompt plus its 4 output tokens, not two
 	// prompts: the second request must queue until the first releases.
 	cfg.KVCapacityBytes = 96 * bpt
-	reqs := UniformArrivals(3, sim.Microsecond)
+	reqs := mustUniform(t, 3, sim.Microsecond)
 	stats, err := Simulate(cfg, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +128,7 @@ func TestContinuousExactBoundaryAdmitsBothPrompts(t *testing.T) {
 	cfg.DefaultOutputLen = 1 // no decode growth: prompts only
 	// Exactly two 64-token prompts: admission at the precise boundary.
 	cfg.KVCapacityBytes = 2 * 65 * bpt // 64-token prompt + 1 generated token each
-	reqs := UniformArrivals(2, 0)      // simultaneous arrivals
+	reqs := simultaneousArrivals(2)    // simultaneous arrivals
 	stats, err := Simulate(cfg, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -150,7 +150,7 @@ func TestContinuousPreemptsOnKVGrowth(t *testing.T) {
 	// footprint (42) fits alone, but joint decode growth overflows: the
 	// younger request must be preempted and recomputed.
 	cfg.KVCapacityBytes = 70 * bpt
-	reqs := UniformArrivals(2, sim.Microsecond)
+	reqs := mustUniform(t, 2, sim.Microsecond)
 	stats, err := Simulate(cfg, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +176,7 @@ func TestContinuousFirstTokenGrowthRespectsBudget(t *testing.T) {
 	cfg.Seq = 50
 	cfg.DefaultOutputLen = 2
 	cfg.KVCapacityBytes = 100 * bpt
-	stats, err := Simulate(cfg, UniformArrivals(2, 0))
+	stats, err := Simulate(cfg, simultaneousArrivals(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestContinuousInfeasibleRequestRejected(t *testing.T) {
 	bpt := gpt2KVBytesPerToken()
 	cfg := contConfig()
 	cfg.KVCapacityBytes = 40 * bpt // less than one 64-token prompt
-	_, err := Simulate(cfg, UniformArrivals(1, sim.Microsecond))
+	_, err := Simulate(cfg, mustUniform(t, 1, sim.Microsecond))
 	if err == nil || !strings.Contains(err.Error(), "KV") {
 		t.Fatalf("oversized request should be rejected with a KV message, got %v", err)
 	}
@@ -212,7 +212,7 @@ func TestContinuousAbandonment(t *testing.T) {
 	cfg.AbandonAfter = 2 * sim.Millisecond
 	// Request 0 admits immediately and runs long; request 1 queues
 	// behind it past its patience.
-	reqs := UniformArrivals(2, sim.Microsecond)
+	reqs := mustUniform(t, 2, sim.Microsecond)
 	stats, err := Simulate(cfg, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -229,7 +229,7 @@ func TestContinuousAbandonment(t *testing.T) {
 	cfg2 := contConfig()
 	cfg2.DefaultOutputLen = 16
 	cfg2.AbandonAfter = 1 * sim.Microsecond // far shorter than a generation
-	stats2, err := Simulate(cfg2, UniformArrivals(2, 0))
+	stats2, err := Simulate(cfg2, simultaneousArrivals(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestChunkedPrefillSpreadsPromptWork(t *testing.T) {
 	cfg.Seq = 512
 	cfg.PrefillChunk = 128
 	cfg.DefaultOutputLen = 3
-	stats, err := Simulate(cfg, UniformArrivals(1, sim.Microsecond))
+	stats, err := Simulate(cfg, mustUniform(t, 1, sim.Microsecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestChunkedPrefillSpreadsPromptWork(t *testing.T) {
 	whole := contConfig()
 	whole.Seq = 512
 	whole.DefaultOutputLen = 3
-	ws, err := Simulate(whole, UniformArrivals(1, sim.Microsecond))
+	ws, err := Simulate(whole, mustUniform(t, 1, sim.Microsecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestContinuousEncoderModelRejected(t *testing.T) {
 	cfg := contConfig()
 	cfg.Model = models.BertBaseUncased()
 	cfg.DefaultOutputLen = 2
-	if _, err := Simulate(cfg, UniformArrivals(2, sim.Millisecond)); err == nil {
+	if _, err := Simulate(cfg, mustUniform(t, 2, sim.Millisecond)); err == nil {
 		t.Error("decode phase needs a decoder-only model")
 	}
 }
@@ -279,7 +279,7 @@ func TestContinuousEncoderModelRejected(t *testing.T) {
 func TestContinuousGoodput(t *testing.T) {
 	cfg := contConfig()
 	cfg.TTFTSLO = sim.Nanosecond
-	reqs := UniformArrivals(8, sim.Millisecond)
+	reqs := mustUniform(t, 8, sim.Millisecond)
 	tight, err := Simulate(cfg, reqs)
 	if err != nil {
 		t.Fatal(err)

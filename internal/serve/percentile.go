@@ -52,11 +52,11 @@ func meanTime(samples []sim.Time) sim.Time {
 	return sum / sim.Time(len(samples))
 }
 
-// sloGoodput computes the SLO block shared by both stats paths: the
-// fraction of TTFT samples within slo and the corresponding goodput
-// over the horizon. slo <= 0 means no SLO: full attainment, goodput ==
-// throughput.
-func sloGoodput(ttfts []sim.Time, slo, horizon sim.Time, throughput float64) (attainment, goodput float64) {
+// SLOGoodput computes the SLO block shared by the serving and cluster
+// stats paths: the fraction of TTFT samples within slo and the
+// corresponding goodput over the horizon. slo <= 0 means no SLO: full
+// attainment, goodput == throughput.
+func SLOGoodput(ttfts []sim.Time, slo, horizon sim.Time, throughput float64) (attainment, goodput float64) {
 	if slo <= 0 || len(ttfts) == 0 {
 		return 1, throughput
 	}

@@ -40,6 +40,10 @@ type Request struct {
 	// back to Config.DefaultOutputLen (itself defaulting to 1). The
 	// legacy prefill-only policies ignore it.
 	OutputLen int64
+	// SessionID groups requests belonging to one conversation or agent
+	// trajectory so a session-affinity router can pin them to one
+	// instance (KV reuse locality). Zero means no session.
+	SessionID int64
 }
 
 // Policy selects how the server forms batches.
@@ -199,6 +203,9 @@ type Stats struct {
 	MaxE2E  sim.Time
 
 	Throughput float64 // completed requests per second over the horizon
+	// TokensOut counts generated tokens delivered to users (continuous
+	// only; recomputed-after-preemption tokens count once).
+	TokensOut int64
 	// TokensPerSec is generated-token throughput (continuous only).
 	TokensPerSec float64
 	// Goodput is completed-requests-per-second meeting TTFTSLO
@@ -345,7 +352,7 @@ func Simulate(cfg Config, requests []Request) (*Stats, error) {
 	stats.MaxTTFT = latencies[len(latencies)-1]
 	stats.Horizon = deviceFree
 	stats.Throughput = float64(stats.Requests) / stats.Horizon.Seconds()
-	stats.SLOAttainment, stats.Goodput = sloGoodput(latencies, cfg.TTFTSLO, stats.Horizon, stats.Throughput)
+	stats.SLOAttainment, stats.Goodput = SLOGoodput(latencies, cfg.TTFTSLO, stats.Horizon, stats.Throughput)
 	stats.MeanBatch = float64(totalBatch) / float64(stats.Batches)
 	return stats, nil
 }
@@ -370,20 +377,20 @@ func PoissonArrivals(n int, ratePerSec float64, seed int64) ([]Request, error) {
 	return reqs, nil
 }
 
-// UniformArrivals generates n requests at a fixed non-negative
-// interval. Unlike PoissonArrivals — whose rate is often computed from
-// data — both arguments are invariably literals, so invalid values are
-// programmer errors and panic (the regexp.MustCompile convention).
-func UniformArrivals(n int, interval sim.Time) []Request {
+// UniformArrivals generates n requests at a fixed positive interval.
+// Like PoissonArrivals, invalid arguments return an error: both
+// generators feed the same simulation pipelines and callers handle
+// their failures uniformly.
+func UniformArrivals(n int, interval sim.Time) ([]Request, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("serve: UniformArrivals needs a positive request count, got %d", n))
+		return nil, fmt.Errorf("serve: UniformArrivals needs a positive request count, got %d", n)
 	}
-	if interval < 0 {
-		panic(fmt.Sprintf("serve: UniformArrivals needs a non-negative interval, got %v", interval))
+	if interval <= 0 {
+		return nil, fmt.Errorf("serve: UniformArrivals needs a positive interval, got %v", interval)
 	}
 	reqs := make([]Request, n)
 	for i := range reqs {
 		reqs[i] = Request{ID: i, Arrival: sim.Time(i) * interval}
 	}
-	return reqs
+	return reqs, nil
 }

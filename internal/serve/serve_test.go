@@ -10,6 +10,27 @@ import (
 	"github.com/skipsim/skip/internal/sim"
 )
 
+// mustUniform wraps UniformArrivals for the many test sites whose
+// literal arguments are valid by construction.
+func mustUniform(t *testing.T, n int, interval sim.Time) []Request {
+	t.Helper()
+	reqs, err := UniformArrivals(n, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// simultaneousArrivals builds n requests all arriving at time zero
+// (UniformArrivals requires a positive interval).
+func simultaneousArrivals(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{ID: i}
+	}
+	return reqs
+}
+
 func baseConfig(policy Policy) Config {
 	return Config{
 		Platform:  hw.GH200(),
@@ -24,7 +45,7 @@ func baseConfig(policy Policy) Config {
 }
 
 func TestSimulateGreedyBasics(t *testing.T) {
-	reqs := UniformArrivals(40, 5*sim.Millisecond)
+	reqs := mustUniform(t, 40, 5*sim.Millisecond)
 	stats, err := Simulate(baseConfig(GreedyBatch), reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -42,11 +63,11 @@ func TestSimulateGreedyBasics(t *testing.T) {
 
 func TestGreedyBatchesGrowUnderLoad(t *testing.T) {
 	cfg := baseConfig(GreedyBatch)
-	light, err := Simulate(cfg, UniformArrivals(30, 40*sim.Millisecond))
+	light, err := Simulate(cfg, mustUniform(t, 30, 40*sim.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy, err := Simulate(cfg, UniformArrivals(30, 1*sim.Millisecond))
+	heavy, err := Simulate(cfg, mustUniform(t, 30, 1*sim.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +84,7 @@ func TestGreedyBatchesGrowUnderLoad(t *testing.T) {
 func TestStaticLargeBatchHurtsLatencyAtLowLoad(t *testing.T) {
 	// The paper's point: forcing large batches for throughput inflates
 	// individual TTFT when traffic is light.
-	reqs := UniformArrivals(32, 20*sim.Millisecond)
+	reqs := mustUniform(t, 32, 20*sim.Millisecond)
 	greedy, err := Simulate(baseConfig(GreedyBatch), reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +105,7 @@ func TestStaticLargeBatchHurtsLatencyAtLowLoad(t *testing.T) {
 func TestStaticBatchingImprovesThroughputUnderPressure(t *testing.T) {
 	// Saturating arrival rate: batching amortizes the launch tax, so
 	// larger static batches finish the backlog sooner.
-	reqs := UniformArrivals(64, 100*sim.Microsecond)
+	reqs := mustUniform(t, 64, 100*sim.Microsecond)
 	small := baseConfig(StaticBatch)
 	small.BatchSize = 1
 	big := baseConfig(StaticBatch)
@@ -108,7 +129,7 @@ func TestStaticMaxWaitDispatchesPartialBatches(t *testing.T) {
 	cfg.BatchSize = 8
 	cfg.MaxWait = 2 * sim.Millisecond
 	// Only 3 requests ever arrive: the wait bound must flush them.
-	reqs := UniformArrivals(3, 1*sim.Millisecond)
+	reqs := mustUniform(t, 3, 1*sim.Millisecond)
 	stats, err := Simulate(cfg, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +143,7 @@ func TestStaticMaxWaitDispatchesPartialBatches(t *testing.T) {
 }
 
 func TestSimulateValidation(t *testing.T) {
-	if _, err := Simulate(Config{}, UniformArrivals(1, 1)); err == nil {
+	if _, err := Simulate(Config{}, mustUniform(t, 1, 1)); err == nil {
 		t.Error("empty config should fail")
 	}
 	cfg := baseConfig(GreedyBatch)
@@ -130,17 +151,17 @@ func TestSimulateValidation(t *testing.T) {
 		t.Error("no requests should fail")
 	}
 	cfg.MaxBatch = 0
-	if _, err := Simulate(cfg, UniformArrivals(1, 1)); err == nil {
+	if _, err := Simulate(cfg, mustUniform(t, 1, 1)); err == nil {
 		t.Error("greedy without MaxBatch should fail")
 	}
 	cfg = baseConfig(StaticBatch)
 	cfg.BatchSize = 0
-	if _, err := Simulate(cfg, UniformArrivals(1, 1)); err == nil {
+	if _, err := Simulate(cfg, mustUniform(t, 1, 1)); err == nil {
 		t.Error("static without BatchSize should fail")
 	}
 	cfg = baseConfig(GreedyBatch)
 	cfg.Seq = 0
-	if _, err := Simulate(cfg, UniformArrivals(1, 1)); err == nil {
+	if _, err := Simulate(cfg, mustUniform(t, 1, 1)); err == nil {
 		t.Error("zero seq should fail")
 	}
 }
@@ -191,15 +212,42 @@ func TestUniformArrivalsValidation(t *testing.T) {
 	for _, tc := range []struct {
 		n        int
 		interval sim.Time
-	}{{0, sim.Millisecond}, {-1, sim.Millisecond}, {5, -sim.Millisecond}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("UniformArrivals(%d, %v) should panic", tc.n, tc.interval)
-				}
-			}()
-			UniformArrivals(tc.n, tc.interval)
-		}()
+	}{{0, sim.Millisecond}, {-1, sim.Millisecond}, {5, 0}, {5, -sim.Millisecond}} {
+		if _, err := UniformArrivals(tc.n, tc.interval); err == nil {
+			t.Errorf("UniformArrivals(%d, %v) should fail", tc.n, tc.interval)
+		}
+	}
+	reqs, err := UniformArrivals(3, sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if r.Arrival != sim.Time(i)*sim.Millisecond {
+			t.Errorf("request %d arrives at %v", i, r.Arrival)
+		}
+	}
+}
+
+func TestPolicyStringParseRoundTrip(t *testing.T) {
+	for _, p := range []Policy{StaticBatch, GreedyBatch, ContinuousBatch, ChunkedPrefill} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", p.String(), err)
+			continue
+		}
+		if got != p {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	// The chunked policy's short CLI alias maps to the same policy.
+	if p, err := ParsePolicy("chunked"); err != nil || p != ChunkedPrefill {
+		t.Errorf("ParsePolicy(chunked) = %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("unknown policy name should fail")
+	}
+	if s := Policy(99).String(); s != "policy(99)" {
+		t.Errorf("out-of-range String() = %q", s)
 	}
 }
 

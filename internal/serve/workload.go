@@ -208,18 +208,21 @@ func (w Workload) generateAgentic(rng *rand.Rand, prompt, output LengthDist) []R
 	var reqs []Request
 	var t float64
 	id := 0
+	session := int64(0)
 	for id < w.N {
 		// Trajectory starts are Poisson at rate/turns so the offered
 		// request rate stays ≈ RatePerSec.
 		t += rng.ExpFloat64() / (w.RatePerSec / float64(turns))
 		turnAt := t
 		base := prompt.sample(rng)
+		session++ // 1-based: zero stays "no session"
 		for k := 0; k < turns && id < w.N; k++ {
 			reqs = append(reqs, Request{
 				ID:        id,
 				Arrival:   sim.Time(turnAt * 1e9),
 				PromptLen: clampLen(base+int64(k)*growth, prompt.Max),
 				OutputLen: output.sample(rng),
+				SessionID: session,
 			})
 			id++
 			// Tool-execution think time between turns: 50–250 ms.

@@ -110,6 +110,50 @@ func TestWorkloadAgenticGrowsContext(t *testing.T) {
 	}
 }
 
+func TestWorkloadAgenticSessionIDs(t *testing.T) {
+	w := Workload{Scenario: ScenarioAgentic, N: 40, RatePerSec: 20, Seed: 4, Turns: 4}
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := map[int64]int{}
+	for _, r := range reqs {
+		if r.SessionID == 0 {
+			t.Fatal("agentic requests must carry a session ID (zero means none)")
+		}
+		sessions[r.SessionID]++
+	}
+	// 40 requests over 4-turn trajectories: 10 sessions of 4 turns.
+	if len(sessions) != 10 {
+		t.Errorf("distinct sessions = %d, want 10", len(sessions))
+	}
+	for sid, n := range sessions {
+		if n != 4 {
+			t.Errorf("session %d has %d turns, want 4", sid, n)
+		}
+	}
+	again, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if reqs[i].SessionID != again[i].SessionID {
+			t.Fatal("session assignment must be deterministic per seed")
+		}
+	}
+
+	// Non-agentic scenarios stay sessionless (backward compatible).
+	chat, err := Workload{Scenario: ScenarioChat, N: 10, RatePerSec: 20, Seed: 4}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range chat {
+		if r.SessionID != 0 {
+			t.Errorf("chat request %d has session %d, want 0", r.ID, r.SessionID)
+		}
+	}
+}
+
 func TestWorkloadValidation(t *testing.T) {
 	if _, err := (Workload{Scenario: ScenarioChat, N: 0, RatePerSec: 10}).Generate(); err == nil {
 		t.Error("n=0 should fail")

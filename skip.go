@@ -23,6 +23,7 @@ package skip
 
 import (
 	"github.com/skipsim/skip/internal/bench"
+	"github.com/skipsim/skip/internal/cluster"
 	"github.com/skipsim/skip/internal/core"
 	"github.com/skipsim/skip/internal/cuda"
 	"github.com/skipsim/skip/internal/engine"
@@ -70,6 +71,14 @@ type (
 	ExperimentResult = bench.Result
 	// Time is virtual time in nanoseconds.
 	Time = sim.Time
+)
+
+// Common virtual-time units, mirroring time.Nanosecond and friends.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
 )
 
 // Execution modes (paper §II-C).
@@ -289,10 +298,9 @@ func PoissonArrivals(n int, ratePerSec float64, seed int64) ([]ServeRequest, err
 	return serve.PoissonArrivals(n, ratePerSec, seed)
 }
 
-// UniformArrivals generates a fixed-interval request stream. It panics
-// on a non-positive count or negative interval (programmer error);
-// PoissonArrivals returns an error instead for its data-dependent rate.
-func UniformArrivals(n int, interval Time) []ServeRequest {
+// UniformArrivals generates a fixed-interval request stream. Like
+// PoissonArrivals, it fails on a non-positive count or interval.
+func UniformArrivals(n int, interval Time) ([]ServeRequest, error) {
 	return serve.UniformArrivals(n, interval)
 }
 
@@ -300,3 +308,53 @@ func UniformArrivals(n int, interval Time) []ServeRequest {
 // multi-turn, long-context summarization, or a mix), deterministic for
 // a fixed seed.
 func GenerateWorkload(w ServeWorkload) ([]ServeRequest, error) { return w.Generate() }
+
+// Cluster-layer aliases: simulate a multi-instance, possibly
+// heterogeneous fleet behind a front-end router with admission control
+// — the fleet-scale extension of the paper's platform comparison. See
+// the cluster package documentation.
+type (
+	// ClusterConfig parameterizes a fleet simulation: per-instance
+	// serving configs, routing policy, and admission control.
+	ClusterConfig = cluster.Config
+	// ClusterStats summarizes fleet-level latencies, goodput, the
+	// request ledger, load imbalance, and per-instance breakdowns.
+	ClusterStats = cluster.Stats
+	// ClusterInstanceStats is one instance's share of a fleet result.
+	ClusterInstanceStats = cluster.InstanceStats
+	// RouterPolicy selects how the front-end places requests.
+	RouterPolicy = cluster.Policy
+	// FleetGroup is one homogeneous slice of a fleet spec.
+	FleetGroup = cluster.FleetGroup
+)
+
+// Routing policies.
+const (
+	RouterRoundRobin      = cluster.RoundRobin
+	RouterLeastQueue      = cluster.LeastQueue
+	RouterLeastKV         = cluster.LeastKV
+	RouterSessionAffinity = cluster.SessionAffinity
+	RouterPlatformAware   = cluster.PlatformAware
+)
+
+// SimulateCluster runs a fleet simulation over a request stream.
+func SimulateCluster(cfg ClusterConfig, requests []ServeRequest) (*ClusterStats, error) {
+	return cluster.Simulate(cfg, requests)
+}
+
+// ParseRouterPolicy maps a CLI name ("round-robin", "least-kv", …) to
+// a routing policy.
+func ParseRouterPolicy(name string) (RouterPolicy, error) { return cluster.ParsePolicy(name) }
+
+// RouterPolicies lists the routing policies in presentation order.
+func RouterPolicies() []RouterPolicy { return cluster.Policies() }
+
+// ParseFleet parses a fleet spec like "GH200:4,Intel+H100:4" against
+// the platform catalog.
+func ParseFleet(spec string) ([]FleetGroup, error) { return cluster.ParseFleet(spec) }
+
+// FleetConfigs expands fleet groups over a base serving config, one
+// config per instance with the group's platform substituted.
+func FleetConfigs(groups []FleetGroup, base ServeConfig) []ServeConfig {
+	return cluster.FleetConfigs(groups, base)
+}

@@ -172,3 +172,50 @@ func TestSweepHelpersThroughPublicAPI(t *testing.T) {
 		t.Error("no balanced region found at generous bound")
 	}
 }
+
+// TestPublicClusterPipeline drives the fleet simulator end to end
+// through the exported API: fleet spec parsing, workload generation,
+// routing, and the fleet-level request ledger.
+func TestPublicClusterPipeline(t *testing.T) {
+	groups, err := skip.ParseFleet("GH200:1,Intel+H100:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := skip.ModelByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests, err := skip.GenerateWorkload(skip.ServeWorkload{
+		Scenario: skip.ScenarioChat, N: 12, RatePerSec: 100, Seed: 5,
+		Prompt: skip.ServeLengthDist{Mean: 48, Sigma: 0.5, Min: 16, Max: 96},
+		Output: skip.ServeLengthDist{Mean: 4, Sigma: 0.5, Min: 2, Max: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := skip.ServeConfig{
+		Model: model, Seq: 64, Mode: skip.ModeEager,
+		Policy: skip.ContinuousBatch, MaxBatch: 8,
+	}
+	for _, policy := range skip.RouterPolicies() {
+		stats, err := skip.SimulateCluster(skip.ClusterConfig{
+			Instances: skip.FleetConfigs(groups, base),
+			Policy:    policy,
+		}, requests)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if stats.Completed != 12 || stats.Offered != stats.Routed {
+			t.Errorf("%v: ledger %+v", policy, stats)
+		}
+		if len(stats.Instances) != 2 {
+			t.Errorf("%v: %d instances", policy, len(stats.Instances))
+		}
+	}
+	if _, err := skip.ParseRouterPolicy("least-kv"); err != nil {
+		t.Error(err)
+	}
+	if _, err := skip.ParseFleet("GH200"); err == nil {
+		t.Error("malformed fleet spec should fail")
+	}
+}
