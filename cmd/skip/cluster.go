@@ -5,12 +5,12 @@ import (
 	"fmt"
 
 	skip "github.com/skipsim/skip"
-	"github.com/skipsim/skip/internal/sim"
 )
 
 // cmdCluster simulates a multi-instance heterogeneous fleet behind a
 // front-end router: `skip cluster -fleet GH200:4,Intel+H100:4 -router
-// platform-aware -workload mixed`.
+// platform-aware -workload mixed`. It is a thin adapter translating
+// flags into the same experiment Spec that `skip sim` loads from disk.
 func cmdCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
 	fleetSpec := fs.String("fleet", "GH200:2,Intel+H100:2", "fleet spec: comma-separated platform:count (see `skip platforms`)")
@@ -19,7 +19,7 @@ func cmdCluster(args []string) error {
 	routerName := fs.String("router", "least-queue", "routing policy: round-robin|least-queue|least-kv|session-affinity|platform-aware")
 	shortPrompt := fs.Int64("short-prompt", 512, "platform-aware: prompts ≤ this many tokens prefer coupled instances")
 	policyName := fs.String("policy", "continuous", "per-instance batching: continuous|chunked-prefill")
-	workload := fs.String("workload", "mixed", "request stream: chat|agentic|summarize|mixed")
+	workload := fs.String("workload", "mixed", "request stream: chat|agentic|summarize|mixed or trace:file.csv")
 	rate := fs.Float64("rate", 40, "Poisson arrival rate (requests/second)")
 	n := fs.Int("requests", 120, "number of requests to simulate")
 	seed := fs.Int64("seed", 1, "workload stream seed")
@@ -35,85 +35,46 @@ func cmdCluster(args []string) error {
 		return err
 	}
 
-	groups, err := skip.ParseFleet(*fleetSpec)
+	parsed, err := skip.ParseFleet(*fleetSpec)
 	if err != nil {
 		return err
 	}
-	model, err := skip.ModelByName(*modelName)
-	if err != nil {
-		return err
-	}
-	mode, err := parseModeName(*modeName)
-	if err != nil {
-		return err
-	}
-	policy, err := skip.ParseServePolicy(*policyName)
-	if err != nil {
-		return err
-	}
-	if policy != skip.ContinuousBatch && policy != skip.ChunkedPrefill {
-		return fmt.Errorf("cluster instances need a continuous batching policy, got %q", *policyName)
-	}
-	router, err := skip.ParseRouterPolicy(*routerName)
-	if err != nil {
-		return err
+	groups := make([]skip.FleetGroupSpec, len(parsed))
+	for i, g := range parsed {
+		groups[i] = skip.FleetGroupSpec{Platform: g.Platform.Name, Count: g.Count}
 	}
 	if *kvUtil <= 0 || *kvUtil > 1 {
 		return fmt.Errorf("-kv-util must be in (0,1], got %g", *kvUtil)
 	}
-	scen, err := skip.ParseServeScenario(*workload)
+	if *maxBatch <= 0 {
+		return fmt.Errorf("-max-batch must be positive, got %d", *maxBatch)
+	}
+	sp := &skip.Spec{
+		Model:    *modelName,
+		Mode:     *modeName,
+		Workload: workloadSpec(*workload, *n, *rate, *seed),
+		Serve: &skip.ServeSpec{
+			Policy:         *policyName,
+			MaxBatch:       *maxBatch,
+			Seq:            512,
+			PrefillChunk:   *chunk,
+			KVMemoryUtil:   *kvUtil,
+			TTFTSLOMs:      *sloMs,
+			AbandonAfterMs: *abandonMs,
+			LatencyBucket:  *bucket,
+		},
+		Fleet: &skip.FleetSpec{
+			Groups:          groups,
+			Router:          *routerName,
+			ShortPrompt:     *shortPrompt,
+			AdmitRatePerSec: *admitRate,
+			AdmitBurst:      *admitBurst,
+		},
+	}
+	rep, err := skip.Simulate(sp)
 	if err != nil {
 		return err
 	}
-	requests, err := skip.GenerateWorkload(skip.ServeWorkload{
-		Scenario: scen, N: *n, RatePerSec: *rate, Seed: *seed,
-	})
-	if err != nil {
-		return err
-	}
-
-	base := skip.ServeConfig{
-		Model: model, Seq: 512, Mode: mode, Policy: policy,
-		MaxBatch: *maxBatch, PrefillChunk: *chunk, KVMemoryUtil: *kvUtil,
-		AbandonAfter:  sim.Time(*abandonMs * 1e6),
-		LatencyBucket: *bucket,
-	}
-	stats, err := skip.SimulateCluster(skip.ClusterConfig{
-		Instances:       skip.FleetConfigs(groups, base),
-		Policy:          router,
-		ShortPrompt:     *shortPrompt,
-		TTFTSLO:         sim.Time(*sloMs * 1e6),
-		AdmitRatePerSec: *admitRate,
-		AdmitBurst:      *admitBurst,
-	}, requests)
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("fleet %s  model=%s router=%s workload=%s  offered %.0f req/s × %d requests\n",
-		*fleetSpec, *modelName, stats.RouterPolicy, *workload, *rate, *n)
-	fmt.Printf("  ledger       %d offered = %d rejected + %d unroutable + %d routed (%d completed, %d abandoned, %d preempted)\n",
-		stats.Offered, stats.Rejected, stats.Unroutable, stats.Routed,
-		stats.Completed, stats.Abandoned, stats.Preemptions)
-	fmt.Printf("  TTFT         mean %v  P50 %v  P95 %v  P99 %v  max %v\n",
-		stats.MeanTTFT, stats.P50TTFT, stats.P95TTFT, stats.P99TTFT, stats.MaxTTFT)
-	fmt.Printf("  TPOT         mean %v  P50 %v  P95 %v\n", stats.MeanTPOT, stats.P50TPOT, stats.P95TPOT)
-	fmt.Printf("  E2E          mean %v  P50 %v  P95 %v  max %v\n",
-		stats.MeanE2E, stats.P50E2E, stats.P95E2E, stats.MaxE2E)
-	fmt.Printf("  throughput   %.1f req/s  (%.0f tok/s)", stats.Throughput, stats.TokensPerSec)
-	if sim.Time(*sloMs*1e6) > 0 {
-		fmt.Printf("  goodput %.1f req/s, %.0f%% in SLO", stats.Goodput, stats.SLOAttainment*100)
-	}
-	fmt.Println()
-	fmt.Printf("  imbalance    %.3f (CV of per-instance routed counts)\n\n", stats.LoadImbalance)
-
-	fmt.Printf("  %-16s %7s %7s %12s %12s %9s %8s %8s\n",
-		"instance", "routed", "done", "P95 TTFT", "P95 E2E", "tok/s", "peak KV", "preempt")
-	for _, is := range stats.Instances {
-		fmt.Printf("  %-16s %7d %7d %12v %12v %9.0f %7.1f%% %8d\n",
-			is.Name, is.Routed, is.Serve.Completed,
-			is.Serve.P95TTFT, is.Serve.P95E2E, is.Serve.TokensPerSec,
-			is.Serve.PeakKVFrac*100, is.Serve.Preemptions)
-	}
+	printReport(sp, rep)
 	return nil
 }

@@ -20,9 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	skip "github.com/skipsim/skip"
-	"github.com/skipsim/skip/internal/sim"
 	"github.com/skipsim/skip/internal/trace"
 )
 
@@ -52,6 +52,8 @@ func main() {
 		err = cmdServe(args)
 	case "cluster":
 		err = cmdCluster(args)
+	case "sim":
+		err = cmdSim(args)
 	case "microbench":
 		err = cmdMicrobench()
 	case "-h", "--help", "help":
@@ -85,7 +87,14 @@ commands:
                router (-fleet GH200:4,Intel+H100:4, -router round-robin|
                least-queue|least-kv|session-affinity|platform-aware,
                -admit-rate token-bucket admission)
-  microbench   nullKernel launch-overhead microbenchmark (Table V)`)
+  sim          run a declarative experiment spec (-spec file.json): one
+               JSON document selecting engine, serve, or cluster
+               simulation, with scenario, arrival-process, or
+               trace-replay workloads (see examples/specs/)
+  microbench   nullKernel launch-overhead microbenchmark (Table V)
+
+run, generate, serve, and cluster are thin adapters that translate their
+flags into the same experiment Spec that 'skip sim' loads from disk.`)
 }
 
 func cmdPlatforms() error {
@@ -136,24 +145,23 @@ func newRunFlags(name string) *runFlags {
 	}
 }
 
-func (rf *runFlags) parseMode() (skip.Mode, error) { return parseModeName(*rf.mode) }
+func (rf *runFlags) parseMode() (skip.Mode, error) { return skip.ParseMode(*rf.mode) }
 
-// parseModeName maps a -mode flag value to an execution mode for every
-// subcommand.
-func parseModeName(name string) (skip.Mode, error) {
-	switch name {
-	case "eager":
-		return skip.ModeEager, nil
-	case "flash", "flash_attention_2":
-		return skip.ModeFlashAttention, nil
-	case "compile-default":
-		return skip.ModeCompileDefault, nil
-	case "compile-reduce-overhead":
-		return skip.ModeCompileReduceOverhead, nil
-	case "compile-max-autotune":
-		return skip.ModeCompileMaxAutotune, nil
+// runSpec builds the engine section of a Spec from the shared flags —
+// the run/generate subcommands are flag-to-Spec adapters over the same
+// declarative pipeline as `skip sim`.
+func (rf *runFlags) runSpec(platformFile string, newTokens int) *skip.Spec {
+	sp := &skip.Spec{
+		Platform: *rf.platform,
+		Model:    *rf.model,
+		Mode:     *rf.mode,
+		Run:      &skip.RunSpec{Batch: *rf.batch, Seq: *rf.seq, NewTokens: newTokens},
 	}
-	return 0, fmt.Errorf("unknown mode %q", name)
+	if platformFile != "" {
+		sp.Platform = ""
+		sp.PlatformFile = platformFile
+	}
+	return sp
 }
 
 func cmdRun(args []string) error {
@@ -162,33 +170,13 @@ func cmdRun(args []string) error {
 	if err := rf.fs.Parse(args); err != nil {
 		return err
 	}
-	mode, err := rf.parseMode()
+	rep, err := skip.Simulate(rf.runSpec(*platformFile, 0))
 	if err != nil {
 		return err
 	}
-	var res *skip.Result
-	if *platformFile != "" {
-		p, err := skip.LoadPlatformFile(*platformFile)
-		if err != nil {
-			return err
-		}
-		m, err := skip.ModelByName(*rf.model)
-		if err != nil {
-			return err
-		}
-		res, err = skip.RunRequest(skip.Request{Platform: p, Model: m, Batch: *rf.batch, Seq: *rf.seq, Mode: mode})
-		if err != nil {
-			return err
-		}
-	} else {
-		res, err = skip.Run(*rf.platform, *rf.model, *rf.batch, *rf.seq, mode)
-		if err != nil {
-			return err
-		}
-	}
-	printRun(res)
+	printRun(rep.Run)
 	if *rf.out != "" {
-		if err := res.Trace.SaveFile(*rf.out); err != nil {
+		if err := rep.Run.Trace.SaveFile(*rf.out); err != nil {
 			return err
 		}
 		fmt.Printf("trace written to %s\n", *rf.out)
@@ -365,33 +353,17 @@ func cmdGenerate(args []string) error {
 	if err := rf.fs.Parse(args); err != nil {
 		return err
 	}
-	mode, err := rf.parseMode()
+	if *tokens <= 0 {
+		return fmt.Errorf("generate: -tokens must be positive, got %d", *tokens)
+	}
+	sp := rf.runSpec("", *tokens)
+	rep, err := skip.Simulate(sp)
 	if err != nil {
 		return err
 	}
-	p, err := skip.PlatformByName(*rf.platform)
-	if err != nil {
-		return err
-	}
-	m, err := skip.ModelByName(*rf.model)
-	if err != nil {
-		return err
-	}
-	res, err := skip.RunGenerate(skip.Request{
-		Platform: p, Model: m, Batch: *rf.batch, Seq: *rf.seq, Mode: mode,
-	}, *tokens)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s / %s  BS=%d prompt=%d tokens=%d mode=%s\n",
-		p.Name, m.Name, *rf.batch, *rf.seq, *tokens, mode)
-	fmt.Printf("  TTFT (prefill)    %v  (%d kernels, GPU busy %v)\n",
-		res.TTFT, res.PrefillKernels, res.PrefillGPUBusy)
-	fmt.Printf("  TPOT (per token)  %v  (%d kernels/step)\n", res.TPOT, res.DecodeKernelsPerStep)
-	fmt.Printf("  decode total      %v  (GPU busy %v)\n", res.DecodeTime, res.DecodeGPUBusy)
-	fmt.Printf("  end-to-end        %v\n", res.Total)
+	printReport(sp, rep)
 	if *rf.out != "" {
-		if err := res.Trace.SaveFile(*rf.out); err != nil {
+		if err := rep.Generate.Trace.SaveFile(*rf.out); err != nil {
 			return err
 		}
 		fmt.Printf("trace written to %s\n", *rf.out)
@@ -404,7 +376,7 @@ func cmdServe(args []string) error {
 	rate := rf.fs.Float64("rate", 20, "Poisson arrival rate (requests/second)")
 	n := rf.fs.Int("requests", 60, "number of requests to simulate")
 	policyName := rf.fs.String("policy", "continuous", "batching policy: static|greedy|continuous|chunked-prefill")
-	workload := rf.fs.String("workload", "chat", "request stream: chat|agentic|summarize|mixed|fixed (fixed: -seq prompts, -out-tokens outputs)")
+	workload := rf.fs.String("workload", "chat", "request stream: chat|agentic|summarize|mixed|fixed (fixed: -seq prompts, -out-tokens outputs) or trace:file.csv")
 	maxBatch := rf.fs.Int("max-batch", 32, "greedy/continuous: maximum (running) batch size")
 	staticBS := rf.fs.Int("static-batch", 8, "static: target batch size")
 	outTokens := rf.fs.Int64("out-tokens", 64, "fixed workload: output tokens per request")
@@ -416,79 +388,54 @@ func cmdServe(args []string) error {
 	if err := rf.fs.Parse(args); err != nil {
 		return err
 	}
-	mode, err := rf.parseMode()
-	if err != nil {
-		return err
-	}
-	p, err := skip.PlatformByName(*rf.platform)
-	if err != nil {
-		return err
-	}
-	m, err := skip.ModelByName(*rf.model)
-	if err != nil {
-		return err
-	}
-	policy, err := skip.ParseServePolicy(*policyName)
-	if err != nil {
-		return err
-	}
+	// These flags are explicit where the spec fields are optional: a 0
+	// would silently mean "the default" (0.9 / 512 / 32) rather than
+	// the impossible value the user typed.
 	if *kvUtil <= 0 || *kvUtil > 1 {
 		return fmt.Errorf("-kv-util must be in (0,1], got %g", *kvUtil)
 	}
-	cfg := skip.ServeConfig{
-		Platform: p, Model: m, Seq: *rf.seq, Mode: mode, Policy: policy,
-		MaxBatch: *maxBatch, BatchSize: *staticBS, MaxWait: 100 * sim.Millisecond,
-		DefaultOutputLen: *outTokens, PrefillChunk: *chunk, KVMemoryUtil: *kvUtil,
-		TTFTSLO:      sim.Time(*sloMs * 1e6),
-		AbandonAfter: sim.Time(*abandonMs * 1e6),
+	if *rf.seq <= 0 {
+		return fmt.Errorf("-seq must be positive, got %d", *rf.seq)
 	}
-
-	var requests []skip.ServeRequest
-	if *workload == "fixed" {
-		requests, err = skip.PoissonArrivals(*n, *rate, *seed)
-	} else {
-		if policy == skip.StaticBatch || policy == skip.GreedyBatch {
-			return fmt.Errorf("policy %q is prefill-only and ignores per-request lengths; use -workload fixed with it", *policyName)
-		}
-		var scen skip.ServeScenario
-		scen, err = skip.ParseServeScenario(*workload)
-		if err != nil {
-			return err
-		}
-		requests, err = skip.GenerateWorkload(skip.ServeWorkload{
-			Scenario: scen, N: *n, RatePerSec: *rate, Seed: *seed,
-		})
+	if *maxBatch <= 0 {
+		return fmt.Errorf("-max-batch must be positive, got %d", *maxBatch)
 	}
+	sp := &skip.Spec{
+		Platform: *rf.platform,
+		Model:    *rf.model,
+		Mode:     *rf.mode,
+		Workload: workloadSpec(*workload, *n, *rate, *seed),
+		Serve: &skip.ServeSpec{
+			Policy:              *policyName,
+			MaxBatch:            *maxBatch,
+			BatchSize:           *staticBS,
+			MaxWaitMs:           100,
+			Seq:                 *rf.seq,
+			DefaultOutputTokens: *outTokens,
+			PrefillChunk:        *chunk,
+			KVMemoryUtil:        *kvUtil,
+			TTFTSLOMs:           *sloMs,
+			AbandonAfterMs:      *abandonMs,
+		},
+	}
+	rep, err := skip.Simulate(sp)
 	if err != nil {
 		return err
 	}
-
-	stats, err := skip.Serve(cfg, requests)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s / %s  policy=%s workload=%s  offered %.0f req/s × %d requests\n",
-		p.Name, m.Name, cfg.Policy, *workload, *rate, *n)
-	fmt.Printf("  mean batch   %.1f over %d iterations\n", stats.MeanBatch, stats.Batches)
-	fmt.Printf("  TTFT         mean %v  P50 %v  P95 %v  P99 %v  max %v\n",
-		stats.MeanTTFT, stats.P50TTFT, stats.P95TTFT, stats.P99TTFT, stats.MaxTTFT)
-	if policy == skip.ContinuousBatch || policy == skip.ChunkedPrefill {
-		fmt.Printf("  TPOT         mean %v  P50 %v  P95 %v\n",
-			stats.MeanTPOT, stats.P50TPOT, stats.P95TPOT)
-		fmt.Printf("  E2E          mean %v  P50 %v  P95 %v  max %v\n",
-			stats.MeanE2E, stats.P50E2E, stats.P95E2E, stats.MaxE2E)
-		fmt.Printf("  KV cache     peak %.1f%% of %.1f GB budget  (time-weighted mean %.1f%%)\n",
-			stats.PeakKVFrac*100, stats.KVCapacityBytes/1e9, stats.MeanKVFrac*100)
-		fmt.Printf("  tokens       %.0f tok/s\n", stats.TokensPerSec)
-		if stats.Preemptions > 0 || stats.Abandoned > 0 {
-			fmt.Printf("  pressure     %d preemptions, %d abandoned, max queue %d\n",
-				stats.Preemptions, stats.Abandoned, stats.MaxQueueDepth)
-		}
-	}
-	fmt.Printf("  throughput   %.1f req/s", stats.Throughput)
-	if cfg.TTFTSLO > 0 {
-		fmt.Printf("  (goodput %.1f req/s, %.0f%% in SLO)", stats.Goodput, stats.SLOAttainment*100)
-	}
-	fmt.Println()
+	printReport(sp, rep)
 	return nil
+}
+
+// workloadSpec maps the -workload flag to a Spec workload section:
+// scenario names, "fixed" (bare Poisson arrivals with config-default
+// lengths), or "trace:file.csv" for request-trace replay.
+func workloadSpec(workload string, n int, rate float64, seed int64) *skip.WorkloadSpec {
+	switch {
+	case workload == "fixed":
+		return &skip.WorkloadSpec{Requests: n, RatePerSec: rate, Seed: seed}
+	case strings.HasPrefix(workload, "trace:"):
+		return &skip.WorkloadSpec{TraceFile: strings.TrimPrefix(workload, "trace:")}
+	default:
+		return &skip.WorkloadSpec{Scenario: workload, Requests: n, RatePerSec: rate, Seed: seed}
+	}
 }

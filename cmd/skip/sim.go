@@ -1,0 +1,192 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	skip "github.com/skipsim/skip"
+)
+
+// cmdSim runs a declarative experiment spec: `skip sim -spec
+// experiment.json`. The run/serve/cluster subcommands build the same
+// Spec from flags; sim loads it from disk, so a spec file is the
+// complete, shareable description of an experiment.
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "experiment spec file (JSON; see `skip sim -h` and README)")
+	events := fs.Bool("events", false, "stream simulation events (arrival/routed/admitted/…) to stdout")
+	out := fs.String("o", "", "run specs: write the trace to this Chrome-trace JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("sim: -spec is required")
+	}
+	sp, err := skip.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+
+	var opts []skip.SimOption
+	if *events {
+		if sp.Kind() == skip.KindRun {
+			return fmt.Errorf("sim: -events needs a serve or fleet spec (run specs emit no lifecycle events)")
+		}
+		opts = append(opts, skip.WithObserver(func(e skip.Event) {
+			fmt.Println("  event:", e)
+		}))
+	}
+	rep, err := skip.Simulate(sp, opts...)
+	if err != nil {
+		return err
+	}
+	printReport(sp, rep)
+
+	if *out != "" {
+		tr := traceOf(rep)
+		if tr == nil {
+			return fmt.Errorf("sim: -o needs a run spec (serve/cluster reports carry no trace)")
+		}
+		if err := tr.SaveFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+	return nil
+}
+
+func traceOf(rep *skip.Report) *skip.Trace {
+	switch {
+	case rep.Run != nil:
+		return rep.Run.Trace
+	case rep.Generate != nil:
+		return rep.Generate.Trace
+	}
+	return nil
+}
+
+// printReport renders a unified Report; every front door (sim, run,
+// generate, serve, cluster) funnels through it.
+func printReport(sp *skip.Spec, rep *skip.Report) {
+	switch rep.Kind {
+	case skip.KindRun:
+		if rep.Generate != nil {
+			printGenerate(sp, rep.Generate)
+		} else {
+			printRun(rep.Run)
+		}
+	case skip.KindServe:
+		printServeReport(sp, rep)
+	case skip.KindCluster:
+		printClusterReport(sp, rep)
+	}
+}
+
+// platformLabel names the spec's platform for report headers; specs
+// using platform_file show the file reference.
+func platformLabel(sp *skip.Spec) string {
+	if sp.PlatformFile != "" {
+		return "file:" + sp.PlatformFile
+	}
+	return sp.Platform
+}
+
+// workloadLabel names the spec's request stream for report headers.
+func workloadLabel(w *skip.WorkloadSpec) string {
+	switch {
+	case w == nil:
+		return "none"
+	case w.TraceFile != "":
+		return "trace:" + w.TraceFile
+	case w.Scenario != "":
+		return w.Scenario
+	case w.Arrival == "uniform":
+		return fmt.Sprintf("uniform every %gms", w.IntervalMs)
+	default:
+		return fmt.Sprintf("poisson %g req/s", w.RatePerSec)
+	}
+}
+
+func printServeReport(sp *skip.Spec, rep *skip.Report) {
+	stats := rep.Serve
+	policy := "continuous"
+	var sloSet, continuous bool
+	if sp.Serve != nil && sp.Serve.Policy != "" {
+		policy = sp.Serve.Policy
+	}
+	if sp.Serve != nil {
+		sloSet = sp.Serve.TTFTSLOMs > 0
+	}
+	p, _ := skip.ParseServePolicy(policy)
+	continuous = p == skip.ContinuousBatch || p == skip.ChunkedPrefill
+
+	fmt.Printf("%s / %s  policy=%s workload=%s  %d requests\n",
+		platformLabel(sp), sp.Model, policy, workloadLabel(sp.Workload), rep.Offered)
+	fmt.Printf("  mean batch   %.1f over %d iterations\n", stats.MeanBatch, stats.Batches)
+	fmt.Printf("  TTFT         mean %v  P50 %v  P95 %v  P99 %v  max %v\n",
+		stats.MeanTTFT, stats.P50TTFT, stats.P95TTFT, stats.P99TTFT, stats.MaxTTFT)
+	if continuous {
+		fmt.Printf("  TPOT         mean %v  P50 %v  P95 %v\n",
+			stats.MeanTPOT, stats.P50TPOT, stats.P95TPOT)
+		fmt.Printf("  E2E          mean %v  P50 %v  P95 %v  max %v\n",
+			stats.MeanE2E, stats.P50E2E, stats.P95E2E, stats.MaxE2E)
+		fmt.Printf("  KV cache     peak %.1f%% of %.1f GB budget  (time-weighted mean %.1f%%)\n",
+			stats.PeakKVFrac*100, stats.KVCapacityBytes/1e9, stats.MeanKVFrac*100)
+		fmt.Printf("  tokens       %.0f tok/s\n", stats.TokensPerSec)
+		if stats.Preemptions > 0 || stats.Abandoned > 0 {
+			fmt.Printf("  pressure     %d preemptions, %d abandoned, max queue %d\n",
+				stats.Preemptions, stats.Abandoned, stats.MaxQueueDepth)
+		}
+	}
+	fmt.Printf("  throughput   %.1f req/s", stats.Throughput)
+	if sloSet {
+		fmt.Printf("  (goodput %.1f req/s, %.0f%% in SLO)", stats.Goodput, stats.SLOAttainment*100)
+	}
+	fmt.Println()
+}
+
+func printClusterReport(sp *skip.Spec, rep *skip.Report) {
+	stats := rep.Cluster
+	var fleetDesc []string
+	for _, g := range sp.Fleet.Groups {
+		fleetDesc = append(fleetDesc, fmt.Sprintf("%s:%d", g.Platform, g.Count))
+	}
+	fmt.Printf("fleet %s  model=%s router=%s workload=%s  %d requests\n",
+		strings.Join(fleetDesc, ","), sp.Model, stats.RouterPolicy,
+		workloadLabel(sp.Workload), rep.Offered)
+	fmt.Printf("  ledger       %d offered = %d rejected + %d unroutable + %d routed (%d completed, %d abandoned, %d preempted)\n",
+		stats.Offered, stats.Rejected, stats.Unroutable, stats.Routed,
+		stats.Completed, stats.Abandoned, stats.Preemptions)
+	fmt.Printf("  TTFT         mean %v  P50 %v  P95 %v  P99 %v  max %v\n",
+		stats.MeanTTFT, stats.P50TTFT, stats.P95TTFT, stats.P99TTFT, stats.MaxTTFT)
+	fmt.Printf("  TPOT         mean %v  P50 %v  P95 %v\n", stats.MeanTPOT, stats.P50TPOT, stats.P95TPOT)
+	fmt.Printf("  E2E          mean %v  P50 %v  P95 %v  max %v\n",
+		stats.MeanE2E, stats.P50E2E, stats.P95E2E, stats.MaxE2E)
+	fmt.Printf("  throughput   %.1f req/s  (%.0f tok/s)", stats.Throughput, stats.TokensPerSec)
+	if sp.Serve != nil && sp.Serve.TTFTSLOMs > 0 {
+		fmt.Printf("  goodput %.1f req/s, %.0f%% in SLO", stats.Goodput, stats.SLOAttainment*100)
+	}
+	fmt.Println()
+	fmt.Printf("  imbalance    %.3f (CV of per-instance routed counts)\n\n", stats.LoadImbalance)
+
+	fmt.Printf("  %-16s %7s %7s %12s %12s %9s %8s %8s\n",
+		"instance", "routed", "done", "P95 TTFT", "P95 E2E", "tok/s", "peak KV", "preempt")
+	for _, is := range stats.Instances {
+		fmt.Printf("  %-16s %7d %7d %12v %12v %9.0f %7.1f%% %8d\n",
+			is.Name, is.Routed, is.Serve.Completed,
+			is.Serve.P95TTFT, is.Serve.P95E2E, is.Serve.TokensPerSec,
+			is.Serve.PeakKVFrac*100, is.Serve.Preemptions)
+	}
+}
+
+func printGenerate(sp *skip.Spec, res *skip.GenerateResult) {
+	fmt.Printf("%s / %s  BS=%d prompt=%d tokens=%d mode=%s\n",
+		res.Request.Platform.Name, res.Request.Model.Name,
+		sp.Run.Batch, sp.Run.Seq, sp.Run.NewTokens, res.Request.Mode)
+	fmt.Printf("  TTFT (prefill)    %v  (%d kernels, GPU busy %v)\n",
+		res.TTFT, res.PrefillKernels, res.PrefillGPUBusy)
+	fmt.Printf("  TPOT (per token)  %v  (%d kernels/step)\n", res.TPOT, res.DecodeKernelsPerStep)
+	fmt.Printf("  decode total      %v  (GPU busy %v)\n", res.DecodeTime, res.DecodeGPUBusy)
+	fmt.Printf("  end-to-end        %v\n", res.Total)
+}

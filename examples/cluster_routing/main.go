@@ -5,6 +5,9 @@
 // front-end routing policy and watch fleet-level tail latency, goodput
 // under a 500ms TTFT SLO, and load imbalance.
 //
+// The whole fleet — groups, router, admission control — is one
+// declarative Spec; the sweep edits a single field between runs.
+//
 // The punchline mirrors the paper's §V characterization: which router
 // wins is a property of the platforms' boundedness regimes. Eager-mode
 // GH200 serving is dispatch-bound (Grace's weak single-thread launch
@@ -22,38 +25,36 @@ import (
 	skip "github.com/skipsim/skip"
 )
 
-func main() {
-	model, err := skip.ModelByName("llama-3.2-1B")
-	if err != nil {
-		log.Fatal(err)
+func fleetSpec(router string) *skip.Spec {
+	return &skip.Spec{
+		Model: "llama-3.2-1B",
+		Workload: &skip.WorkloadSpec{
+			Scenario: "mixed", Requests: 240, RatePerSec: 80, Seed: 29,
+		},
+		Serve: &skip.ServeSpec{
+			Policy: "continuous", MaxBatch: 32, Seq: 512,
+			LatencyBucket: 256, TTFTSLOMs: 500,
+		},
+		Fleet: &skip.FleetSpec{
+			Groups: []skip.FleetGroupSpec{
+				{Platform: skip.GH200, Count: 4},
+				{Platform: skip.IntelH100, Count: 4},
+			},
+			Router: router,
+		},
 	}
-	groups, err := skip.ParseFleet("GH200:4,Intel+H100:4")
-	if err != nil {
-		log.Fatal(err)
-	}
-	requests, err := skip.GenerateWorkload(skip.ServeWorkload{
-		Scenario: skip.ScenarioMixed, N: 240, RatePerSec: 80, Seed: 29,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+}
 
-	base := skip.ServeConfig{
-		Model: model, Seq: 512, Mode: skip.ModeEager,
-		Policy: skip.ContinuousBatch, MaxBatch: 32, LatencyBucket: 256,
-	}
+func main() {
 	fmt.Println("4×GH200 + 4×Intel+H100, mixed workload, 80 req/s Poisson, 500ms TTFT SLO")
 	fmt.Printf("%-18s %7s %12s %12s %9s %16s %10s\n",
 		"router", "GH/LC", "P50 TTFT", "P99 TTFT", "tok/s", "goodput (req/s)", "imbalance")
 	for _, policy := range skip.RouterPolicies() {
-		stats, err := skip.SimulateCluster(skip.ClusterConfig{
-			Instances: skip.FleetConfigs(groups, base),
-			Policy:    policy,
-			TTFTSLO:   500 * skip.Millisecond,
-		}, requests)
+		rep, err := skip.Simulate(fleetSpec(policy.String()))
 		if err != nil {
 			log.Fatal(err)
 		}
+		stats := rep.Cluster
 		coupled := 0
 		for _, is := range stats.Instances {
 			if is.Platform == skip.GH200 {
@@ -71,16 +72,14 @@ func main() {
 	fmt.Println("\nwith token-bucket admission control (40 req/s sustained, depth 16):")
 	fmt.Printf("%-18s %9s %12s %16s\n", "router", "rejected", "P99 TTFT", "goodput (req/s)")
 	for _, policy := range []skip.RouterPolicy{skip.RouterRoundRobin, skip.RouterLeastQueue, skip.RouterLeastKV} {
-		stats, err := skip.SimulateCluster(skip.ClusterConfig{
-			Instances:       skip.FleetConfigs(groups, base),
-			Policy:          policy,
-			TTFTSLO:         500 * skip.Millisecond,
-			AdmitRatePerSec: 40,
-			AdmitBurst:      16,
-		}, requests)
+		sp := fleetSpec(policy.String())
+		sp.Fleet.AdmitRatePerSec = 40
+		sp.Fleet.AdmitBurst = 16
+		rep, err := skip.Simulate(sp)
 		if err != nil {
 			log.Fatal(err)
 		}
+		stats := rep.Cluster
 		fmt.Printf("%-18s %9d %12v %16.1f\n",
 			stats.RouterPolicy, stats.Rejected, stats.P99TTFT, stats.Goodput)
 	}

@@ -6,6 +6,10 @@
 // TPOT, and E2E percentiles, KV-cache occupancy, and where on the
 // batch-size curve each policy operates.
 //
+// Each cell of the table is one declarative experiment Spec — the same
+// document `skip sim -spec` runs — with only the platform, policy, and
+// offered rate varying.
+//
 //	go run ./examples/serving_policies
 package main
 
@@ -16,47 +20,45 @@ import (
 	skip "github.com/skipsim/skip"
 )
 
-func main() {
-	model, err := skip.ModelByName("llama-3.2-1B")
-	if err != nil {
-		log.Fatal(err)
+// chatSpec is the shared experiment description; platform, policy, max
+// batch, and offered rate are the swept fields.
+func chatSpec(platform, policy string, maxBatch int, rate float64) *skip.Spec {
+	return &skip.Spec{
+		Platform: platform,
+		Model:    "llama-3.2-1B",
+		Workload: &skip.WorkloadSpec{
+			Scenario: "chat", Requests: 60, RatePerSec: rate, Seed: 11,
+			Prompt: &skip.LengthDistSpec{Mean: 384, Sigma: 0.6, Min: 32, Max: 1024},
+			Output: &skip.LengthDistSpec{Mean: 96, Sigma: 0.5, Min: 8, Max: 256},
+		},
+		Serve: &skip.ServeSpec{
+			Policy: policy, MaxBatch: maxBatch, Seq: 384, LatencyBucket: 256,
+		},
 	}
+}
 
+func main() {
 	for _, rate := range []float64{5, 20} {
-		requests, err := skip.GenerateWorkload(skip.ServeWorkload{
-			Scenario: skip.ScenarioChat, N: 60, RatePerSec: rate, Seed: 11,
-			Prompt: skip.ServeLengthDist{Mean: 384, Sigma: 0.6, Min: 32, Max: 1024},
-			Output: skip.ServeLengthDist{Mean: 96, Sigma: 0.5, Min: 8, Max: 256},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("=== offered load %.0f req/s (chat workload) ===\n", rate)
 		fmt.Printf("%-12s %-16s %10s %12s %12s %12s %10s\n",
 			"platform", "policy", "mean batch", "P95 TTFT", "P50 TPOT", "P95 E2E", "peak KV")
-		for _, platName := range []string{skip.IntelH100, skip.GH200} {
-			p, err := skip.PlatformByName(platName)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for _, platform := range []string{skip.IntelH100, skip.GH200} {
 			for _, pc := range []struct {
 				name     string
-				policy   skip.ServePolicy
+				policy   string
 				maxBatch int
 			}{
-				{"continuous≤32", skip.ContinuousBatch, 32},
-				{"chunked≤32", skip.ChunkedPrefill, 32},
-				{"run-to-end BS=1", skip.ContinuousBatch, 1},
+				{"continuous≤32", "continuous", 32},
+				{"chunked≤32", "chunked-prefill", 32},
+				{"run-to-end BS=1", "continuous", 1},
 			} {
-				stats, err := skip.Serve(skip.ServeConfig{
-					Platform: p, Model: model, Seq: 384, Mode: skip.ModeEager,
-					Policy: pc.policy, MaxBatch: pc.maxBatch, LatencyBucket: 256,
-				}, requests)
+				rep, err := skip.Simulate(chatSpec(platform, pc.policy, pc.maxBatch, rate))
 				if err != nil {
 					log.Fatal(err)
 				}
+				stats := rep.Serve
 				fmt.Printf("%-12s %-16s %10.1f %12v %12v %12v %9.1f%%\n",
-					platName, pc.name, stats.MeanBatch,
+					platform, pc.name, stats.MeanBatch,
 					stats.P95TTFT, stats.P50TPOT, stats.P95E2E, stats.PeakKVFrac*100)
 			}
 		}

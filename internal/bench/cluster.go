@@ -5,11 +5,8 @@ import (
 	"reflect"
 
 	"github.com/skipsim/skip/internal/cluster"
-	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/hw"
-	"github.com/skipsim/skip/internal/models"
-	"github.com/skipsim/skip/internal/serve"
-	"github.com/skipsim/skip/internal/sim"
+	"github.com/skipsim/skip/internal/spec"
 )
 
 func init() {
@@ -21,51 +18,53 @@ func init() {
 	})
 }
 
-// clusterStudyFleet is the heterogeneous fleet: two coupled and two
-// loosely-coupled instances serving the same model.
-func clusterStudyFleet(m *models.Config) []serve.Config {
-	base := serve.Config{
-		Model: m, Seq: 512, Mode: engine.Eager,
-		Policy: serve.ContinuousBatch, MaxBatch: 32,
-		LatencyBucket: 256,
+// clusterStudySpec is the heterogeneous fleet study as one declarative
+// spec: two coupled and two loosely-coupled instances serving the same
+// model under a production-style mixed stream (60% chat, 25% agentic
+// single turns, 15% long-context summarization).
+func clusterStudySpec(router string) *spec.Spec {
+	return &spec.Spec{
+		Model: "llama-3.2-1B",
+		Workload: &spec.WorkloadSpec{
+			Scenario:   "mixed",
+			Requests:   120,
+			RatePerSec: 40,
+			Seed:       17,
+		},
+		Serve: &spec.ServeSpec{
+			Policy:        "continuous",
+			MaxBatch:      32,
+			Seq:           512,
+			LatencyBucket: 256,
+			TTFTSLOMs:     500,
+		},
+		Fleet: &spec.FleetSpec{
+			Groups: []spec.FleetGroupSpec{
+				{Platform: hw.GH200Name, Count: 2},
+				{Platform: hw.IntelH100Name, Count: 2},
+			},
+			Router: router,
+		},
 	}
-	groups := []cluster.FleetGroup{
-		{Platform: hw.GH200(), Count: 2},
-		{Platform: hw.IntelH100(), Count: 2},
-	}
-	return cluster.FleetConfigs(groups, base)
 }
 
-// clusterStudyLoad is a production-style mixed stream: 60% chat, 25%
-// agentic single turns, 15% long-context summarization.
-func clusterStudyLoad() ([]serve.Request, error) {
-	w := serve.Workload{
-		Scenario:   serve.ScenarioMixed,
-		N:          120,
-		RatePerSec: 40,
-		Seed:       17,
+// agenticStudySpec swaps the workload for 4-turn agentic trajectories,
+// where session affinity pins whole trajectories to the instance that
+// served turn one.
+func agenticStudySpec(router string) *spec.Spec {
+	s := clusterStudySpec(router)
+	s.Workload = &spec.WorkloadSpec{
+		Scenario:   "agentic",
+		Requests:   96,
+		RatePerSec: 32,
+		Seed:       23,
+		Turns:      4,
 	}
-	return w.Generate()
-}
-
-func clusterStudyConfig(m *models.Config, policy cluster.Policy) cluster.Config {
-	return cluster.Config{
-		Instances: clusterStudyFleet(m),
-		Policy:    policy,
-		TTFTSLO:   500 * sim.Millisecond,
-	}
+	return s
 }
 
 func runExtCluster() (*Result, error) {
 	res := &Result{ID: "ext9-cluster", Title: "Extension 9"}
-	model, err := models.ByName("llama-3.2-1B")
-	if err != nil {
-		return nil, err
-	}
-	requests, err := clusterStudyLoad()
-	if err != nil {
-		return nil, err
-	}
 
 	tbl := Table{
 		Title: "Fleet-level latency and goodput by routing policy (2×GH200 + 2×Intel+H100, mixed workload, 40 req/s Poisson)",
@@ -74,10 +73,11 @@ func runExtCluster() (*Result, error) {
 	}
 	byPolicy := map[cluster.Policy]*cluster.Stats{}
 	for _, policy := range cluster.Policies() {
-		st, err := cluster.Simulate(clusterStudyConfig(model, policy), requests)
+		rep, err := spec.Simulate(clusterStudySpec(policy.String()))
 		if err != nil {
 			return nil, err
 		}
+		st := rep.Cluster
 		byPolicy[policy] = st
 		coupledRouted, looseRouted := 0, 0
 		for _, is := range st.Instances {
@@ -102,25 +102,18 @@ func runExtCluster() (*Result, error) {
 		"goodput counts completed requests whose TTFT met the 500ms fleet SLO")
 	res.Tables = append(res.Tables, tbl)
 
-	// Session affinity needs sessions: an agentic stream of 4-turn
-	// trajectories, where affinity pins whole trajectories to the
-	// instance that served turn one.
-	agentic, err := serve.Workload{
-		Scenario: serve.ScenarioAgentic, N: 96, RatePerSec: 32, Seed: 23, Turns: 4,
-	}.Generate()
-	if err != nil {
-		return nil, err
-	}
+	// Session affinity needs sessions: the agentic trajectory stream.
 	agTbl := Table{
 		Title:   "Session-affinity routing on agentic 4-turn trajectories (same fleet, 32 req/s)",
 		Columns: []string{"Router", "P50 TTFT (ms)", "P99 TTFT (ms)", "imbalance", "per-instance routed"},
 	}
 	agStats := map[cluster.Policy]*cluster.Stats{}
 	for _, policy := range []cluster.Policy{cluster.LeastQueue, cluster.SessionAffinity} {
-		st, err := cluster.Simulate(clusterStudyConfig(model, policy), agentic)
+		rep, err := spec.Simulate(agenticStudySpec(policy.String()))
 		if err != nil {
 			return nil, err
 		}
+		st := rep.Cluster
 		agStats[policy] = st
 		split := ""
 		for i, is := range st.Instances {
@@ -140,13 +133,14 @@ func runExtCluster() (*Result, error) {
 
 	// Admission control at the same offered load: a token bucket below
 	// the offered rate sheds the burst tail at the front door.
-	admitted := clusterStudyConfig(model, cluster.LeastQueue)
-	admitted.AdmitRatePerSec = 25
-	admitted.AdmitBurst = 8
-	shed, err := cluster.Simulate(admitted, requests)
+	admitted := clusterStudySpec(cluster.LeastQueue.String())
+	admitted.Fleet.AdmitRatePerSec = 25
+	admitted.Fleet.AdmitBurst = 8
+	shedRep, err := spec.Simulate(admitted)
 	if err != nil {
 		return nil, err
 	}
+	shed := shedRep.Cluster
 	admTbl := Table{
 		Title:   "Token-bucket admission control (least-queue router, 25 req/s sustained, depth 8)",
 		Columns: []string{"Config", "offered", "rejected", "routed", "P99 TTFT (ms)", "goodput (req/s)"},
@@ -160,27 +154,24 @@ func runExtCluster() (*Result, error) {
 	)
 	res.Tables = append(res.Tables, admTbl)
 
-	// Determinism: the acceptance criterion — same seed, byte-identical
+	// Determinism: the acceptance criterion — same spec, byte-identical
 	// fleet stats including every per-instance series.
-	requests2, err := clusterStudyLoad()
+	againRep, err := spec.Simulate(clusterStudySpec(cluster.PlatformAware.String()))
 	if err != nil {
 		return nil, err
 	}
-	again, err := cluster.Simulate(clusterStudyConfig(model, cluster.PlatformAware), requests2)
-	if err != nil {
-		return nil, err
-	}
+	again := againRep.Cluster
 
 	rr := byPolicy[cluster.RoundRobin]
 	lq := byPolicy[cluster.LeastQueue]
 	pa := byPolicy[cluster.PlatformAware]
-	var minP99, maxP99 sim.Time
+	minT, maxT := pa.P99TTFT, pa.P99TTFT
 	for _, st := range byPolicy {
-		if minP99 == 0 || st.P99TTFT < minP99 {
-			minP99 = st.P99TTFT
+		if st.P99TTFT < minT {
+			minT = st.P99TTFT
 		}
-		if st.P99TTFT > maxP99 {
-			maxP99 = st.P99TTFT
+		if st.P99TTFT > maxT {
+			maxT = st.P99TTFT
 		}
 	}
 	ledgerOK := true
@@ -205,8 +196,8 @@ func runExtCluster() (*Result, error) {
 				rr.Offered, rr.Rejected, rr.Unroutable, rr.Routed),
 			"no request lost or duplicated across routing, queueing, preemption, abandonment"),
 		checkBool("routing policy measurably moves fleet P99 TTFT",
-			maxP99 > minP99+minP99/20,
-			fmt.Sprintf("P99 spread %v – %v across policies", minP99, maxP99),
+			maxT > minT+minT/20,
+			fmt.Sprintf("P99 spread %v – %v across policies", minT, maxT),
 			"placement decides tail latency on a heterogeneous fleet"),
 		checkBool("load-aware routing beats oblivious round-robin P99 TTFT",
 			lq.P99TTFT < rr.P99TTFT,

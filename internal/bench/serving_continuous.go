@@ -3,11 +3,9 @@ package bench
 import (
 	"fmt"
 
-	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/hw"
-	"github.com/skipsim/skip/internal/models"
 	"github.com/skipsim/skip/internal/serve"
-	"github.com/skipsim/skip/internal/sim"
+	"github.com/skipsim/skip/internal/spec"
 )
 
 func init() {
@@ -19,50 +17,45 @@ func init() {
 	})
 }
 
-// contStudyLoad is the paper-style chat load: Poisson arrivals far above
-// what run-to-completion BS=1 can sustain, well within what
-// iteration-level batching can.
-func contStudyLoad() ([]serve.Request, error) {
-	w := serve.Workload{
-		Scenario:   serve.ScenarioChat,
-		N:          80,
-		RatePerSec: 20,
-		Seed:       13,
-		Prompt:     serve.LengthDist{Mean: 384, Sigma: 0.6, Min: 32, Max: 1024},
-		Output:     serve.LengthDist{Mean: 96, Sigma: 0.5, Min: 8, Max: 256},
-	}
-	return w.Generate()
-}
-
-func contStudyConfig(p *hw.Platform, m *models.Config, policy serve.Policy, maxBatch int) serve.Config {
-	return serve.Config{
-		Platform: p, Model: m, Seq: 384, Mode: engine.Eager,
-		Policy: policy, MaxBatch: maxBatch,
-		LatencyBucket: 256,
-		TTFTSLO:       500 * sim.Millisecond,
+// contStudySpec is the paper-style chat study as one declarative spec:
+// Poisson arrivals far above what run-to-completion BS=1 can sustain,
+// well within what iteration-level batching can.
+func contStudySpec(platform, policy string, maxBatch int, chunk int64) *spec.Spec {
+	return &spec.Spec{
+		Platform: platform,
+		Model:    "llama-3.2-1B",
+		Workload: &spec.WorkloadSpec{
+			Scenario:   "chat",
+			Requests:   80,
+			RatePerSec: 20,
+			Seed:       13,
+			Prompt:     &spec.LengthDistSpec{Mean: 384, Sigma: 0.6, Min: 32, Max: 1024},
+			Output:     &spec.LengthDistSpec{Mean: 96, Sigma: 0.5, Min: 8, Max: 256},
+		},
+		Serve: &spec.ServeSpec{
+			Policy:        policy,
+			MaxBatch:      maxBatch,
+			Seq:           384,
+			PrefillChunk:  chunk,
+			LatencyBucket: 256,
+			TTFTSLOMs:     500,
+		},
 	}
 }
 
 func runExtContinuous() (*Result, error) {
 	res := &Result{ID: "ext8-continuous", Title: "Extension 8"}
-	model, err := models.ByName("llama-3.2-1B")
-	if err != nil {
-		return nil, err
-	}
-	requests, err := contStudyLoad()
-	if err != nil {
-		return nil, err
-	}
 
 	type policyCase struct {
 		label    string
-		policy   serve.Policy
+		policy   string
 		maxBatch int
+		chunk    int64
 	}
 	cases := []policyCase{
-		{"continuous ≤32", serve.ContinuousBatch, 32},
-		{"chunked-prefill ≤32 (chunk 128)", serve.ChunkedPrefill, 32},
-		{"static BS=1 (run-to-completion)", serve.ContinuousBatch, 1},
+		{"continuous ≤32", "continuous", 32, 0},
+		{"chunked-prefill ≤32 (chunk 128)", "chunked-prefill", 32, 128},
+		{"static BS=1 (run-to-completion)", "continuous", 1, 0},
 	}
 
 	tbl := Table{
@@ -72,19 +65,16 @@ func runExtContinuous() (*Result, error) {
 	}
 	type key struct{ plat, policy string }
 	stats := map[key]*serve.Stats{}
-	for _, p := range []*hw.Platform{hw.IntelH100(), hw.GH200()} {
+	for _, plat := range []string{hw.IntelH100Name, hw.GH200Name} {
 		for _, pc := range cases {
-			cfg := contStudyConfig(p, model, pc.policy, pc.maxBatch)
-			if pc.policy == serve.ChunkedPrefill {
-				cfg.PrefillChunk = 128
-			}
-			s, err := serve.Simulate(cfg, requests)
+			rep, err := spec.Simulate(contStudySpec(plat, pc.policy, pc.maxBatch, pc.chunk))
 			if err != nil {
 				return nil, err
 			}
-			stats[key{p.Name, pc.label}] = s
+			s := rep.Serve
+			stats[key{plat, pc.label}] = s
 			tbl.Rows = append(tbl.Rows, []string{
-				p.Name, pc.label, f1(s.MeanBatch),
+				plat, pc.label, f1(s.MeanBatch),
 				ms(s.P50TTFT.Milliseconds()), ms(s.P95TTFT.Milliseconds()),
 				ms(s.P50TPOT.Milliseconds()), ms(s.P95E2E.Milliseconds()),
 				f1(s.TokensPerSec), f1(s.Goodput),
@@ -98,17 +88,14 @@ func runExtContinuous() (*Result, error) {
 		"chunked prefill pays a host tax here: eager serving is dispatch-bound (§V-B), so every extra chunk iteration re-pays the per-iteration launch cost — chunking only wins where prefill is GPU-bound")
 	res.Tables = append(res.Tables, tbl)
 
-	// Determinism: the whole pipeline (workload generation + calendar
-	// simulation) must reproduce bit-identical stats for a fixed seed.
-	requests2, err := contStudyLoad()
+	// Determinism: the whole declarative pipeline (spec → workload
+	// generation → calendar simulation) must reproduce bit-identical
+	// stats for a fixed seed.
+	rep, err := spec.Simulate(contStudySpec(hw.GH200Name, "continuous", 32, 0))
 	if err != nil {
 		return nil, err
 	}
-	gh := hw.GH200()
-	again, err := serve.Simulate(contStudyConfig(gh, model, serve.ContinuousBatch, 32), requests2)
-	if err != nil {
-		return nil, err
-	}
+	again := rep.Serve
 
 	ghCont := stats[key{hw.GH200Name, cases[0].label}]
 	ghChunk := stats[key{hw.GH200Name, cases[1].label}]

@@ -46,6 +46,11 @@ type Config struct {
 	// AdmitBurst is the bucket depth in requests (default: one second's
 	// refill, minimum 1).
 	AdmitBurst float64
+	// Observer, when set, receives front-door events (routed, rejected,
+	// unroutable) plus every instance's lifecycle events with the
+	// instance name stamped in. Per-instance observers set on the
+	// instance configs still fire independently.
+	Observer serve.Observer
 }
 
 func (c *Config) validate() error {
@@ -85,6 +90,9 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 			icfg.TTFTSLO = cfg.TTFTSLO
 		}
 		name := fmt.Sprintf("%s#%d", icfg.Platform.Name, i)
+		if cfg.Observer != nil {
+			icfg.Observer = stampInstance(name, cfg.Observer, icfg.Observer)
+		}
 		in, err := serve.NewInstance(name, icfg, cal)
 		if err != nil {
 			return nil, err
@@ -98,6 +106,16 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 		admit = newTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
 	}
 
+	frontDoor := func(now sim.Time, t serve.EventType, req serve.Request, instance string) {
+		if cfg.Observer == nil {
+			return
+		}
+		cfg.Observer(serve.Event{
+			Time: now, Type: t,
+			RequestID: req.ID, SessionID: req.SessionID, Instance: instance,
+		})
+	}
+
 	var rejected, unroutable int
 	var routeErr error
 	for i := range reqs {
@@ -108,13 +126,16 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 			}
 			if admit != nil && !admit.allow(now) {
 				rejected++
+				frontDoor(now, serve.EventRejected, req, "")
 				return
 			}
 			idx := rt.pick(req, instances)
 			if idx < 0 {
 				unroutable++
+				frontDoor(now, serve.EventUnroutable, req, "")
 				return
 			}
+			frontDoor(now, serve.EventRouted, req, instances[idx].Name())
 			if err := instances[idx].Accept(now, req); err != nil {
 				// pick only offers fitting instances, so Accept cannot
 				// refuse; treat a refusal as the bug it would be.
@@ -152,4 +173,17 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 		}
 	}
 	return st, nil
+}
+
+// stampInstance adapts the fleet observer for one instance: events the
+// instance emits carry its name, and any observer already set on the
+// instance config keeps firing unstamped.
+func stampInstance(name string, fleet, own serve.Observer) serve.Observer {
+	return func(e serve.Event) {
+		if own != nil {
+			own(e)
+		}
+		e.Instance = name
+		fleet(e)
+	}
 }

@@ -284,16 +284,35 @@ func TestParseFleet(t *testing.T) {
 		groups[1].Platform.Name != hw.IntelH100Name || groups[1].Count != 3 {
 		t.Errorf("groups = %+v", groups)
 	}
-	cfgs := FleetConfigs(groups, testServeConfig(nil))
+	cfgs, err := FleetConfigs(groups, testServeConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cfgs) != 5 {
 		t.Fatalf("expanded %d configs, want 5", len(cfgs))
 	}
 	if cfgs[0].Platform.Name != hw.GH200Name || cfgs[4].Platform.Name != hw.IntelH100Name {
 		t.Errorf("platform order broken: %s … %s", cfgs[0].Platform.Name, cfgs[4].Platform.Name)
 	}
-	for _, bad := range []string{"", "GH200", "GH200:0", "GH200:-1", "GH200:x", "NoSuch:2"} {
+	for _, bad := range []string{"", "GH200", "GH200:0", "GH200:-1", "GH200:x", "NoSuch:2",
+		"GH200:2,GH200:2"} {
 		if _, err := ParseFleet(bad); err == nil {
 			t.Errorf("ParseFleet(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFleetConfigsRejectsDegenerateGroups(t *testing.T) {
+	base := testServeConfig(nil)
+	for name, groups := range map[string][]FleetGroup{
+		"empty":         nil,
+		"zero count":    {{Platform: hw.GH200(), Count: 0}},
+		"negative":      {{Platform: hw.GH200(), Count: -3}},
+		"nil platform":  {{Platform: nil, Count: 2}},
+		"mixed one bad": {{Platform: hw.GH200(), Count: 2}, {Platform: hw.IntelH100(), Count: 0}},
+	} {
+		if _, err := FleetConfigs(groups, base); err == nil {
+			t.Errorf("FleetConfigs(%s) should fail instead of producing a silent empty/truncated fleet", name)
 		}
 	}
 }

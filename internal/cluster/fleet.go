@@ -24,6 +24,7 @@ func ParseFleet(spec string) ([]FleetGroup, error) {
 		return nil, fmt.Errorf("cluster: empty fleet spec")
 	}
 	var groups []FleetGroup
+	seen := make(map[string]bool)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		name, countStr, ok := strings.Cut(part, ":")
@@ -38,6 +39,10 @@ func ParseFleet(spec string) ([]FleetGroup, error) {
 		if err != nil {
 			return nil, err
 		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("cluster: fleet lists platform %q twice; merge the counts into one entry", p.Name)
+		}
+		seen[p.Name] = true
 		groups = append(groups, FleetGroup{Platform: p, Count: count})
 	}
 	return groups, nil
@@ -47,15 +52,27 @@ func ParseFleet(spec string) ([]FleetGroup, error) {
 // instance inherits the base (model, policy, KV knobs, SLO) with its
 // group's platform substituted in. This is the common case — a
 // heterogeneous fleet serving one model — while callers needing
-// per-instance knobs build Config.Instances by hand.
-func FleetConfigs(groups []FleetGroup, base serve.Config) []serve.Config {
+// per-instance knobs build Config.Instances by hand. Groups with a
+// missing platform or a non-positive count are rejected: they used to
+// expand to a silently empty (or truncated) fleet that only failed
+// later, far from the mistake.
+func FleetConfigs(groups []FleetGroup, base serve.Config) ([]serve.Config, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one group")
+	}
 	var cfgs []serve.Config
-	for _, g := range groups {
+	for gi, g := range groups {
+		if g.Platform == nil {
+			return nil, fmt.Errorf("cluster: fleet group %d needs a platform", gi)
+		}
+		if g.Count <= 0 {
+			return nil, fmt.Errorf("cluster: fleet group %d (%s) needs a positive count, got %d", gi, g.Platform.Name, g.Count)
+		}
 		for i := 0; i < g.Count; i++ {
 			cfg := base
 			cfg.Platform = g.Platform
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	return cfgs
+	return cfgs, nil
 }

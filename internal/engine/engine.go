@@ -60,6 +60,24 @@ func Modes() []Mode {
 	return []Mode{Eager, Flash, CompileDefault, CompileReduceOverhead, CompileMaxAutotune}
 }
 
+// ParseMode maps a mode name — a String() result or the common CLI
+// shorthands — back to the Mode.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "eager":
+		return Eager, nil
+	case "flash", "flash_attention_2":
+		return Flash, nil
+	case "compile-default":
+		return CompileDefault, nil
+	case "compile-reduce-overhead":
+		return CompileReduceOverhead, nil
+	case "compile-max-autotune":
+		return CompileMaxAutotune, nil
+	}
+	return 0, fmt.Errorf("engine: unknown mode %q (have eager|flash|compile-default|compile-reduce-overhead|compile-max-autotune)", name)
+}
+
 // Compile-time model (Table I): measured on Gemma-2B (BS=1, seq 1024,
 // Intel+H100). Other models scale by parameter count; slower CPUs scale
 // inversely by single-thread score, since graph tracing and Triton

@@ -155,6 +155,19 @@ func (s *contSim) newRequest(req Request) (*contRequest, error) {
 	return cr, nil
 }
 
+// emit reports a lifecycle event for cr to the configured observer.
+func (s *contSim) emit(now sim.Time, t EventType, cr *contRequest) {
+	if s.cfg.Observer == nil {
+		return
+	}
+	s.cfg.Observer(Event{
+		Time:      now,
+		Type:      t,
+		RequestID: cr.req.ID,
+		SessionID: cr.req.SessionID,
+	})
+}
+
 // simulateContinuous runs the ContinuousBatch / ChunkedPrefill policies
 // over the (already sorted) request stream.
 func simulateContinuous(cfg Config, reqs []Request) (*Stats, error) {
@@ -184,6 +197,7 @@ func (s *contSim) arrive(now sim.Time, cr *contRequest) {
 		return
 	}
 	s.waiting = append(s.waiting, cr)
+	s.emit(now, EventArrival, cr)
 	if s.cfg.AbandonAfter > 0 {
 		cr.abandonEv = s.cal.Schedule(now+s.cfg.AbandonAfter, func(at sim.Time) { s.abandon(at, cr) })
 	}
@@ -215,6 +229,7 @@ func (s *contSim) abandon(now sim.Time, cr *contRequest) {
 		if w == cr {
 			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
 			s.abandoned++
+			s.emit(now, EventAbandoned, cr)
 			s.sample(now)
 			return
 		}
@@ -224,7 +239,7 @@ func (s *contSim) abandon(now sim.Time, cr *contRequest) {
 // admit moves wait-queue heads into the running batch while the KV
 // budget and batch cap allow (FIFO: a head that does not fit blocks the
 // queue, the queue-or-preempt policy's "queue" side).
-func (s *contSim) admit() {
+func (s *contSim) admit(now sim.Time) {
 	for len(s.waiting) > 0 && len(s.running) < s.cfg.MaxBatch {
 		head := s.waiting[0]
 		need := float64(head.promptLen) * s.bytesPerTok
@@ -239,6 +254,7 @@ func (s *contSim) admit() {
 		head.kvBytes = need
 		s.kvUsed += need
 		s.running = append(s.running, head)
+		s.emit(now, EventAdmitted, head)
 	}
 }
 
@@ -263,7 +279,7 @@ func (s *contSim) willEmitToken(r *contRequest) bool {
 // request re-queues at the head of the wait queue). The oldest request
 // is never evicted — feasibility guarantees it fits alone, so the
 // scheduler always makes progress.
-func (s *contSim) preemptForGrowth() {
+func (s *contSim) preemptForGrowth(now sim.Time) {
 	for {
 		var growth float64
 		for _, r := range s.running {
@@ -282,6 +298,7 @@ func (s *contSim) preemptForGrowth() {
 		victim.generated = 0
 		s.waiting = append([]*contRequest{victim}, s.waiting...)
 		s.preemptions++
+		s.emit(now, EventPreempted, victim)
 	}
 }
 
@@ -290,8 +307,8 @@ func (s *contSim) kick(now sim.Time) {
 	if s.busy || s.err != nil {
 		return
 	}
-	s.admit()
-	s.preemptForGrowth()
+	s.admit(now)
+	s.preemptForGrowth(now)
 	s.sample(now)
 	if len(s.running) == 0 {
 		return
@@ -389,9 +406,11 @@ func (s *contSim) emitToken(r *contRequest, end sim.Time) {
 		r.hasFirst = true
 		r.firstTok = end
 		s.ttfts = append(s.ttfts, end-r.req.Arrival)
+		s.emit(end, EventFirstToken, r)
 	}
 	if r.generated >= r.outputLen {
 		s.completed++
+		s.emit(end, EventCompleted, r)
 		s.e2es = append(s.e2es, end-r.req.Arrival)
 		if r.outputLen > 1 {
 			s.tpots = append(s.tpots, (end-r.firstTok)/sim.Time(r.outputLen-1))

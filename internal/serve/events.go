@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// EventType classifies a simulation lifecycle event.
+type EventType int
+
+const (
+	// EventArrival: a request reached a server's wait queue.
+	EventArrival EventType = iota
+	// EventRejected: admission control dropped the request at the front
+	// door (cluster simulations only).
+	EventRejected
+	// EventUnroutable: no instance could ever fit the request's KV
+	// footprint (cluster simulations only).
+	EventUnroutable
+	// EventRouted: the front-end placed the request on an instance
+	// (cluster simulations only; Instance names it).
+	EventRouted
+	// EventAdmitted: the request left the wait queue and joined the
+	// running batch, reserving its prompt's KV.
+	EventAdmitted
+	// EventPreempted: KV pressure evicted the request from the running
+	// batch; it re-queues for recomputation.
+	EventPreempted
+	// EventAbandoned: the request waited past its patience and was
+	// dropped.
+	EventAbandoned
+	// EventFirstToken: the request's first output token was emitted (the
+	// TTFT instant).
+	EventFirstToken
+	// EventCompleted: the request finished generating.
+	EventCompleted
+	// EventProgress: a periodic completion-count tick (Completed of
+	// Total), emitted by the Simulate dispatcher rather than the
+	// scheduler.
+	EventProgress
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventArrival:
+		return "arrival"
+	case EventRejected:
+		return "rejected"
+	case EventUnroutable:
+		return "unroutable"
+	case EventRouted:
+		return "routed"
+	case EventAdmitted:
+		return "admitted"
+	case EventPreempted:
+		return "preempted"
+	case EventAbandoned:
+		return "abandoned"
+	case EventFirstToken:
+		return "first-token"
+	case EventCompleted:
+		return "completed"
+	case EventProgress:
+		return "progress"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// Event is one observation of a serving or cluster simulation. Events
+// are emitted synchronously from inside calendar callbacks, so for a
+// fixed spec and seed the event stream is deterministic — order
+// included.
+type Event struct {
+	Time sim.Time
+	Type EventType
+	// RequestID identifies the request (absent for EventProgress).
+	RequestID int
+	// SessionID is the request's session, when it has one.
+	SessionID int64
+	// Instance names the serving instance involved ("" for
+	// single-instance simulations and front-door events).
+	Instance string
+	// Completed / Total carry the EventProgress payload.
+	Completed int
+	Total     int
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%v %s", e.Time, e.Type)
+	if e.Type == EventProgress {
+		return fmt.Sprintf("%s %d/%d", s, e.Completed, e.Total)
+	}
+	s += fmt.Sprintf(" req=%d", e.RequestID)
+	if e.SessionID != 0 {
+		s += fmt.Sprintf(" session=%d", e.SessionID)
+	}
+	if e.Instance != "" {
+		s += " @" + e.Instance
+	}
+	return s
+}
+
+// Observer receives simulation events as they happen. Observers must
+// not retain the simulator's internal state; the Event value is theirs.
+type Observer func(Event)

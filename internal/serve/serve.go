@@ -143,6 +143,11 @@ type Config struct {
 	// (default 64 tokens). Coarser buckets run faster, finer buckets are
 	// more precise.
 	LatencyBucket int64
+	// Observer, when set, receives lifecycle events (arrival, admission,
+	// preemption, first token, completion, abandonment) from the
+	// continuous policies as they happen. The legacy prefill-only
+	// policies do not emit events.
+	Observer Observer
 }
 
 func (c *Config) validate() error {

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// Request-trace replay: instead of generating a synthetic workload, a
+// simulation can replay a logged request stream — arrival instants,
+// prompt and output lengths, and optional session IDs — through the
+// same serving and cluster pipelines. The format is CSV with a header
+// row naming the columns:
+//
+//	arrival_ms,prompt_tokens,output_tokens,session_id
+//	0,384,96,0
+//	12.5,2048,64,1
+//
+// Column order is free; output_tokens and session_id are optional
+// (missing output lengths fall back to the config's default, zero
+// session means "no session"). Lines starting with '#' are comments.
+
+// traceColumns maps accepted header names to canonical columns.
+var traceColumns = map[string]string{
+	"arrival_ms":    "arrival",
+	"arrival":       "arrival",
+	"prompt_tokens": "prompt",
+	"prompt":        "prompt",
+	"output_tokens": "output",
+	"output":        "output",
+	"session_id":    "session",
+	"session":       "session",
+}
+
+// ParseTrace reads a request trace from r (see the package comment on
+// the CSV schema) and returns the stream sorted by arrival, with IDs
+// assigned in row order.
+func ParseTrace(r io.Reader) ([]Request, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.Comment = '#'
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("serve: trace: reading header: %w", err)
+	}
+	cols := make(map[string]int) // canonical column → field index
+	for i, h := range header {
+		name, ok := traceColumns[strings.ToLower(strings.TrimSpace(h))]
+		if !ok {
+			return nil, fmt.Errorf("serve: trace: unknown column %q (have arrival_ms|prompt_tokens|output_tokens|session_id)", h)
+		}
+		if _, dup := cols[name]; dup {
+			return nil, fmt.Errorf("serve: trace: duplicate column %q", h)
+		}
+		cols[name] = i
+	}
+	for _, required := range []string{"arrival", "prompt"} {
+		if _, ok := cols[required]; !ok {
+			return nil, fmt.Errorf("serve: trace: missing required column %s", required)
+		}
+	}
+
+	var reqs []Request
+	for row := 1; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace: row %d: %w", row, err)
+		}
+		arrivalMs, err := strconv.ParseFloat(strings.TrimSpace(rec[cols["arrival"]]), 64)
+		if err != nil || arrivalMs < 0 {
+			return nil, fmt.Errorf("serve: trace: row %d: arrival_ms must be a non-negative number, got %q", row, rec[cols["arrival"]])
+		}
+		prompt, err := strconv.ParseInt(strings.TrimSpace(rec[cols["prompt"]]), 10, 64)
+		if err != nil || prompt <= 0 {
+			return nil, fmt.Errorf("serve: trace: row %d: prompt_tokens must be a positive integer, got %q", row, rec[cols["prompt"]])
+		}
+		req := Request{
+			ID:        len(reqs),
+			Arrival:   sim.Time(arrivalMs * 1e6),
+			PromptLen: prompt,
+		}
+		if idx, ok := cols["output"]; ok {
+			out, err := strconv.ParseInt(strings.TrimSpace(rec[idx]), 10, 64)
+			if err != nil || out < 0 {
+				return nil, fmt.Errorf("serve: trace: row %d: output_tokens must be a non-negative integer, got %q", row, rec[idx])
+			}
+			req.OutputLen = out
+		}
+		if idx, ok := cols["session"]; ok {
+			sess, err := strconv.ParseInt(strings.TrimSpace(rec[idx]), 10, 64)
+			if err != nil || sess < 0 {
+				return nil, fmt.Errorf("serve: trace: row %d: session_id must be a non-negative integer, got %q", row, rec[idx])
+			}
+			req.SessionID = sess
+		}
+		reqs = append(reqs, req)
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serve: trace: no request rows")
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	return reqs, nil
+}
+
+// LoadTraceFile reads a request-trace CSV file (see ParseTrace).
+func LoadTraceFile(path string) ([]Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: trace: %w", err)
+	}
+	defer f.Close()
+	reqs, err := ParseTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return reqs, nil
+}

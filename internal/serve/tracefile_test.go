@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/skipsim/skip/internal/sim"
+)
+
+func TestParseTrace(t *testing.T) {
+	reqs, err := ParseTrace(strings.NewReader(
+		"# a comment\n" +
+			"arrival_ms,prompt_tokens,output_tokens,session_id\n" +
+			"12.5,256,32,1\n" +
+			"0,128,0,0\n" +
+			"3000,2048,64,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("parsed %d requests, want 3", len(reqs))
+	}
+	// Sorted by arrival; IDs keep row order.
+	if reqs[0].ID != 1 || reqs[0].Arrival != 0 || reqs[0].PromptLen != 128 {
+		t.Errorf("first request = %+v", reqs[0])
+	}
+	if reqs[1].Arrival != sim.Time(12.5*1e6) || reqs[1].OutputLen != 32 || reqs[1].SessionID != 1 {
+		t.Errorf("second request = %+v", reqs[1])
+	}
+	if reqs[2].Arrival != 3*sim.Second || reqs[2].SessionID != 2 {
+		t.Errorf("third request = %+v", reqs[2])
+	}
+}
+
+func TestParseTraceColumnOrderAndOptionals(t *testing.T) {
+	reqs, err := ParseTrace(strings.NewReader(
+		"prompt_tokens,arrival_ms\n512,7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs[0].PromptLen != 512 || reqs[0].OutputLen != 0 || reqs[0].SessionID != 0 {
+		t.Errorf("request = %+v", reqs[0])
+	}
+}
+
+func TestParseTraceRejectsBadInput(t *testing.T) {
+	for name, doc := range map[string]string{
+		"unknown column":   "arrival_ms,prompt_tokens,latency\n1,2,3\n",
+		"duplicate column": "arrival_ms,arrival,prompt_tokens\n1,2,3\n",
+		"missing arrival":  "prompt_tokens,output_tokens\n128,8\n",
+		"missing prompt":   "arrival_ms,output_tokens\n1,8\n",
+		"negative arrival": "arrival_ms,prompt_tokens\n-5,128\n",
+		"zero prompt":      "arrival_ms,prompt_tokens\n5,0\n",
+		"bad number":       "arrival_ms,prompt_tokens\nsoon,128\n",
+		"negative output":  "arrival_ms,prompt_tokens,output_tokens\n5,128,-1\n",
+		"no rows":          "arrival_ms,prompt_tokens\n",
+		"empty":            "",
+	} {
+		if _, err := ParseTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ParseTrace should fail", name)
+		}
+	}
+}
+
+func TestTraceReplayThroughSimulate(t *testing.T) {
+	reqs, err := ParseTrace(strings.NewReader(
+		"arrival_ms,prompt_tokens,output_tokens\n0,128,4\n10,256,4\n20,128,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Simulate(contConfig(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 3 {
+		t.Errorf("completed %d of 3 replayed requests", stats.Completed)
+	}
+}

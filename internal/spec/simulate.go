@@ -1,0 +1,294 @@
+package spec
+
+import (
+	"github.com/skipsim/skip/internal/cluster"
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// Report is the unified outcome of Simulate: one type for all three
+// layers, discriminated by Kind. Exactly the matching section is
+// populated.
+type Report struct {
+	Kind Kind
+
+	// KindRun: the engine result — Run for prefill-only specs,
+	// Generate when run.new_tokens is positive (then Run is nil).
+	Run      *engine.Result
+	Generate *engine.GenerateResult
+
+	// KindServe: the serving statistics.
+	Serve *serve.Stats
+
+	// KindCluster: the fleet statistics.
+	Cluster *cluster.Stats
+
+	// Offered is the workload's request count (serve and cluster
+	// kinds).
+	Offered int
+}
+
+// options collects Simulate's functional options.
+type options struct {
+	observer      serve.Observer
+	progressEvery int
+}
+
+// Option customizes a Simulate call without touching the Spec — the
+// Spec stays a pure, serializable experiment description while
+// process-local concerns (event hooks) ride alongside.
+type Option func(*options)
+
+// WithObserver streams simulation events (arrival, routing, admission,
+// preemption, first token, completion, progress ticks) to fn as they
+// happen, in deterministic order for a fixed spec.
+func WithObserver(fn serve.Observer) Option {
+	return func(o *options) { o.observer = fn }
+}
+
+// WithProgressEvery emits an EventProgress tick every n completions
+// (default: every 10% of the workload). Only meaningful with
+// WithObserver.
+func WithProgressEvery(n int) Option {
+	return func(o *options) { o.progressEvery = n }
+}
+
+// Simulate validates the spec and dispatches it to the engine, serving,
+// or cluster layer (see Kind), returning a unified Report. The
+// simulation is deterministic for a fixed spec: CLI, bench, and library
+// callers sharing a spec reproduce identical numbers.
+func Simulate(s *Spec, opts ...Option) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch s.Kind() {
+	case KindRun:
+		return s.simulateRun()
+	case KindServe:
+		return s.simulateServe(&o)
+	default:
+		return s.simulateCluster(&o)
+	}
+}
+
+// platform resolves the top-level platform reference.
+func (s *Spec) platform() (*hw.Platform, error) {
+	if s.PlatformFile != "" {
+		return hw.LoadPlatformFile(s.resolve(s.PlatformFile))
+	}
+	return hw.ByName(s.Platform)
+}
+
+// mode resolves the execution mode, defaulting to eager.
+func (s *Spec) mode() (engine.Mode, error) {
+	if s.Mode == "" {
+		return engine.Eager, nil
+	}
+	return engine.ParseMode(s.Mode)
+}
+
+func (s *Spec) simulateRun() (*Report, error) {
+	p, err := s.platform()
+	if err != nil {
+		return nil, err
+	}
+	m, err := models.ByName(s.Model)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := s.mode()
+	if err != nil {
+		return nil, err
+	}
+	req := engine.Request{Platform: p, Model: m, Batch: s.Run.Batch, Seq: s.Run.Seq, Mode: mode}
+	if s.Run.NewTokens > 0 {
+		g, err := engine.RunGenerate(req, s.Run.NewTokens)
+		if err != nil {
+			return nil, err
+		}
+		return &Report{Kind: KindRun, Generate: g}, nil
+	}
+	res, err := engine.Run(req)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Kind: KindRun, Run: res}, nil
+}
+
+// requests materializes the workload's request stream.
+func (s *Spec) requests() ([]serve.Request, error) {
+	w := s.Workload
+	if w.TraceFile != "" {
+		return serve.LoadTraceFile(s.resolve(w.TraceFile))
+	}
+	if w.Scenario != "" {
+		scen, err := serve.ParseScenario(w.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		sw := serve.Workload{
+			Scenario: scen, N: w.Requests, RatePerSec: w.RatePerSec, Seed: w.Seed,
+			Turns: w.Turns, ContextGrowth: w.ContextGrowth,
+		}
+		if w.Prompt != nil {
+			sw.Prompt = w.Prompt.dist()
+		}
+		if w.Output != nil {
+			sw.Output = w.Output.dist()
+		}
+		return sw.Generate()
+	}
+	if w.Arrival == "uniform" {
+		return serve.UniformArrivals(w.Requests, sim.Time(w.IntervalMs*1e6))
+	}
+	return serve.PoissonArrivals(w.Requests, w.RatePerSec, w.Seed)
+}
+
+func (d *LengthDistSpec) dist() serve.LengthDist {
+	return serve.LengthDist{Mean: d.Mean, Sigma: d.Sigma, Min: d.Min, Max: d.Max}
+}
+
+// serveConfig builds the serve.Config a ServeSpec describes (platform
+// left to the caller: fleet expansion substitutes per-group platforms).
+// A nil ServeSpec yields the defaults.
+func (s *Spec) serveConfig(obs serve.Observer) (serve.Config, error) {
+	v := s.Serve
+	if v == nil {
+		v = &ServeSpec{}
+	}
+	policy, err := serve.ParsePolicy(v.policyName())
+	if err != nil {
+		return serve.Config{}, err
+	}
+	mode, err := s.mode()
+	if err != nil {
+		return serve.Config{}, err
+	}
+	m, err := models.ByName(s.Model)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	cfg := serve.Config{
+		Model: m, Mode: mode, Policy: policy,
+		Seq:              v.Seq,
+		MaxBatch:         v.MaxBatch,
+		BatchSize:        v.BatchSize,
+		MaxWait:          sim.Time(v.MaxWaitMs * 1e6),
+		DefaultOutputLen: v.DefaultOutputTokens,
+		PrefillChunk:     v.PrefillChunk,
+		KVMemoryUtil:     v.KVMemoryUtil,
+		KVCapacityBytes:  v.KVCapacityBytes,
+		TTFTSLO:          sim.Time(v.TTFTSLOMs * 1e6),
+		AbandonAfter:     sim.Time(v.AbandonAfterMs * 1e6),
+		LatencyBucket:    v.LatencyBucket,
+		Observer:         obs,
+	}
+	if cfg.Seq == 0 {
+		cfg.Seq = 512
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if policy == serve.StaticBatch && cfg.MaxWait == 0 {
+		cfg.MaxWait = 100 * sim.Millisecond
+	}
+	return cfg, nil
+}
+
+func (s *Spec) simulateServe(o *options) (*Report, error) {
+	reqs, err := s.requests()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := s.serveConfig(progressObserver(o.observer, len(reqs), o.progressEvery))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Platform, err = s.platform()
+	if err != nil {
+		return nil, err
+	}
+	st, err := serve.Simulate(cfg, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Kind: KindServe, Serve: st, Offered: len(reqs)}, nil
+}
+
+func (s *Spec) simulateCluster(o *options) (*Report, error) {
+	reqs, err := s.requests()
+	if err != nil {
+		return nil, err
+	}
+	base, err := s.serveConfig(nil)
+	if err != nil {
+		return nil, err
+	}
+	f := s.Fleet
+	groups := make([]cluster.FleetGroup, len(f.Groups))
+	for i, g := range f.Groups {
+		p, err := hw.ByName(g.Platform)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = cluster.FleetGroup{Platform: p, Count: g.Count}
+	}
+	instances, err := cluster.FleetConfigs(groups, base)
+	if err != nil {
+		return nil, err
+	}
+	router, err := cluster.ParsePolicy(f.routerName())
+	if err != nil {
+		return nil, err
+	}
+	ccfg := cluster.Config{
+		Instances:       instances,
+		Policy:          router,
+		ShortPrompt:     f.ShortPrompt,
+		TTFTSLO:         base.TTFTSLO,
+		AdmitRatePerSec: f.AdmitRatePerSec,
+		AdmitBurst:      f.AdmitBurst,
+		Observer:        progressObserver(o.observer, len(reqs), o.progressEvery),
+	}
+	st, err := cluster.Simulate(ccfg, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Kind: KindCluster, Cluster: st, Offered: len(reqs)}, nil
+}
+
+// progressObserver forwards events to obs and interleaves an
+// EventProgress tick every `every` completions (default: every 10% of
+// total, at least 1). A nil obs disables observation entirely.
+func progressObserver(obs serve.Observer, total, every int) serve.Observer {
+	if obs == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = total / 10
+		if every < 1 {
+			every = 1
+		}
+	}
+	done := 0
+	return func(e serve.Event) {
+		obs(e)
+		if e.Type != serve.EventCompleted {
+			return
+		}
+		done++
+		if done%every == 0 || done == total {
+			obs(serve.Event{Time: e.Time, Type: serve.EventProgress, Completed: done, Total: total})
+		}
+	}
+}

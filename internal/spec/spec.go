@@ -1,0 +1,277 @@
+// Package spec is the declarative front door of SKIP-Sim: one
+// JSON-serializable Spec describes an experiment — the platform, model,
+// and execution mode, the workload that arrives (scenario generators,
+// Poisson/uniform arrival processes, or a logged request trace), the
+// serving configuration, and optionally a multi-instance fleet — and
+// Simulate dispatches it to the engine, serving, or cluster layer based
+// on which sections are present.
+//
+// The Spec replaces three parallel entry points (skip.Run, skip.Serve,
+// skip.SimulateCluster), each with its own config plumbing: a CLI
+// subcommand, a bench experiment, and a library caller can now share
+// one document, round-trippable via Load/Save, and consume one Report.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Spec is a complete, JSON-serializable experiment description.
+//
+// Section presence selects the simulation layer (see Kind):
+//
+//   - run only                 → a single engine inference (KindRun)
+//   - workload + serve         → one serving instance (KindServe)
+//   - workload + fleet [+serve] → a routed multi-instance fleet
+//     (KindCluster; serve acts as the per-instance base config)
+type Spec struct {
+	// Platform names a catalog platform (see hw.PlatformNames) for run
+	// and serve specs; fleet specs name platforms per group instead.
+	Platform string `json:"platform,omitempty"`
+	// PlatformFile loads a custom platform definition (JSON) instead of
+	// Platform, for what-if hardware studies. Relative paths resolve
+	// against the spec file's directory.
+	PlatformFile string `json:"platform_file,omitempty"`
+	// Model names a catalog model (see models.ModelNames). Required.
+	Model string `json:"model"`
+	// Mode is the execution mode name ("eager", "flash",
+	// "compile-default", "compile-reduce-overhead",
+	// "compile-max-autotune"). Empty means eager.
+	Mode string `json:"mode,omitempty"`
+
+	// Run describes a single inference (mutually exclusive with
+	// Workload/Serve/Fleet).
+	Run *RunSpec `json:"run,omitempty"`
+	// Workload describes the request stream for serve and fleet specs.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Serve configures the serving instance (or, with Fleet, the base
+	// config every instance inherits).
+	Serve *ServeSpec `json:"serve,omitempty"`
+	// Fleet configures a multi-instance fleet behind a router.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
+
+	// baseDir is the directory relative file references (trace_file,
+	// platform_file) resolve against; Load sets it to the spec file's
+	// directory, Parse leaves it empty (the process working directory).
+	baseDir string
+}
+
+// RunSpec describes a single engine inference.
+type RunSpec struct {
+	// Batch is the batch size. Required, positive.
+	Batch int64 `json:"batch"`
+	// Seq is the input sequence length in tokens. Required, positive.
+	Seq int64 `json:"seq"`
+	// NewTokens, when positive, runs prefill plus that many
+	// autoregressive decode steps (RunGenerate) instead of prefill only.
+	NewTokens int `json:"new_tokens,omitempty"`
+}
+
+// LengthDistSpec is a clamped lognormal token-length distribution
+// (serve.LengthDist in JSON form).
+type LengthDistSpec struct {
+	Mean  float64 `json:"mean"`
+	Sigma float64 `json:"sigma,omitempty"`
+	Min   int64   `json:"min,omitempty"`
+	Max   int64   `json:"max,omitempty"`
+}
+
+// WorkloadSpec describes the request stream. Exactly one source
+// applies: a scenario generator (Scenario set), a logged request trace
+// (TraceFile set), or a bare arrival process with config-default
+// lengths (neither set).
+type WorkloadSpec struct {
+	// Scenario selects a workload generator: "chat", "agentic",
+	// "summarize", or "mixed".
+	Scenario string `json:"scenario,omitempty"`
+	// TraceFile replays a logged request stream instead of generating
+	// one: CSV with an arrival_ms,prompt_tokens,output_tokens,session_id
+	// header (see serve.ParseTrace). Relative paths resolve against the
+	// spec file's directory.
+	TraceFile string `json:"trace_file,omitempty"`
+	// Arrival selects the arrival process for non-trace workloads:
+	// "poisson" (default) or "uniform" (fixed interval; no scenario).
+	Arrival string `json:"arrival,omitempty"`
+	// Requests is the stream length. Required unless TraceFile is set.
+	Requests int `json:"requests,omitempty"`
+	// RatePerSec is the Poisson arrival rate.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// IntervalMs is the uniform arrival interval in milliseconds.
+	IntervalMs float64 `json:"interval_ms,omitempty"`
+	// Seed drives all workload randomness; a fixed (scenario, requests,
+	// rate, seed) tuple reproduces the identical stream.
+	Seed int64 `json:"seed,omitempty"`
+	// Prompt / Output override the scenario's length distributions.
+	Prompt *LengthDistSpec `json:"prompt,omitempty"`
+	Output *LengthDistSpec `json:"output,omitempty"`
+	// Turns is the agentic trajectory length (default 4).
+	Turns int `json:"turns,omitempty"`
+	// ContextGrowth is the agentic per-turn prompt growth in tokens
+	// (default 256).
+	ContextGrowth int64 `json:"context_growth,omitempty"`
+}
+
+// ServeSpec configures a serving instance (serve.Config in JSON form).
+// Zero fields take the documented defaults.
+type ServeSpec struct {
+	// Policy is the batching policy: "continuous" (default),
+	// "chunked-prefill", "static", or "greedy". Fleet instances need a
+	// continuous policy.
+	Policy string `json:"policy,omitempty"`
+	// MaxBatch caps the running-set (or greedy group) size. Default 32.
+	MaxBatch int `json:"max_batch,omitempty"`
+	// BatchSize is the static policy's target batch. Default 8.
+	BatchSize int `json:"batch_size,omitempty"`
+	// MaxWaitMs bounds how long static holds a partial batch. Default
+	// 100ms.
+	MaxWaitMs float64 `json:"max_wait_ms,omitempty"`
+	// Seq is the prompt length for requests without one. Default 512.
+	Seq int64 `json:"seq,omitempty"`
+	// DefaultOutputTokens is the generation length for requests without
+	// one. Default 1 (prefill-equivalent).
+	DefaultOutputTokens int64 `json:"default_output_tokens,omitempty"`
+	// PrefillChunk is the chunked-prefill chunk size in tokens. Default
+	// 512.
+	PrefillChunk int64 `json:"prefill_chunk,omitempty"`
+	// KVMemoryUtil is the HBM fraction usable for weights + KV cache.
+	// Like every spec field, zero means unset and takes the default
+	// (0.9); set KVCapacityBytes to force a specific budget.
+	KVMemoryUtil float64 `json:"kv_memory_util,omitempty"`
+	// KVCapacityBytes overrides the derived KV budget when positive.
+	KVCapacityBytes float64 `json:"kv_capacity_bytes,omitempty"`
+	// TTFTSLOMs is the time-to-first-token objective for goodput
+	// accounting, in milliseconds (0 disables). For fleet specs it is
+	// also the fleet-level SLO.
+	TTFTSLOMs float64 `json:"ttft_slo_ms,omitempty"`
+	// AbandonAfterMs drops requests still queued after this many
+	// milliseconds (0: never).
+	AbandonAfterMs float64 `json:"abandon_after_ms,omitempty"`
+	// LatencyBucket quantizes the cached iteration-latency oracle in
+	// tokens. Default 64; coarser runs faster.
+	LatencyBucket int64 `json:"latency_bucket,omitempty"`
+}
+
+// FleetGroupSpec is one homogeneous slice of a fleet.
+type FleetGroupSpec struct {
+	// Platform names a catalog platform.
+	Platform string `json:"platform"`
+	// Count is the number of instances. Required, positive.
+	Count int `json:"count"`
+}
+
+// FleetSpec configures a multi-instance fleet behind a front-end
+// router with optional token-bucket admission control.
+type FleetSpec struct {
+	// Groups lists the fleet's homogeneous slices. Required, non-empty,
+	// no duplicate platforms.
+	Groups []FleetGroupSpec `json:"groups"`
+	// Router is the routing policy: "least-queue" (default),
+	// "round-robin", "least-kv", "session-affinity", "platform-aware".
+	Router string `json:"router,omitempty"`
+	// ShortPrompt is the platform-aware regime boundary in prompt
+	// tokens. Default 512.
+	ShortPrompt int64 `json:"short_prompt,omitempty"`
+	// AdmitRatePerSec enables token-bucket admission control (0: off).
+	AdmitRatePerSec float64 `json:"admit_rate_per_sec,omitempty"`
+	// AdmitBurst is the bucket depth in requests (default: one second's
+	// refill).
+	AdmitBurst float64 `json:"admit_burst,omitempty"`
+}
+
+// Kind is the simulation layer a Spec dispatches to.
+type Kind int
+
+const (
+	// KindRun is a single engine inference (prefill, optionally plus
+	// decode).
+	KindRun Kind = iota
+	// KindServe is one serving instance under a request stream.
+	KindServe
+	// KindCluster is a routed multi-instance fleet.
+	KindCluster
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRun:
+		return "run"
+	case KindServe:
+		return "serve"
+	case KindCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Kind reports the layer the spec dispatches to, from section presence:
+// a fleet section means cluster, a serve section means serve, otherwise
+// run. Validate enforces that the sections present are coherent.
+func (s *Spec) Kind() Kind {
+	switch {
+	case s.Fleet != nil:
+		return KindCluster
+	case s.Serve != nil:
+		return KindServe
+	default:
+		return KindRun
+	}
+}
+
+// Parse decodes a Spec from JSON. Unknown fields anywhere in the
+// document are rejected — a typoed knob must not silently fall back to
+// a default — as is trailing content. Relative file references in a
+// parsed spec resolve against the process working directory; prefer
+// Load for file-based specs.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	s := &Spec{}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("spec: trailing content after the spec document")
+	}
+	return s, nil
+}
+
+// Load reads and parses a spec file. Relative trace_file and
+// platform_file references resolve against the file's directory, so a
+// spec can ship next to its trace.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	s.baseDir = filepath.Dir(path)
+	return s, nil
+}
+
+// Save writes the spec as indented JSON. Save∘Load is the identity:
+// a loaded spec saved next to its source parses back equal.
+func Save(s *Spec, path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// resolve joins a relative file reference with the spec's base
+// directory.
+func (s *Spec) resolve(path string) string {
+	if s.baseDir == "" || filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(s.baseDir, path)
+}

@@ -1,0 +1,302 @@
+package spec
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/cluster"
+	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/models"
+	"github.com/skipsim/skip/internal/serve"
+)
+
+// errAt prefixes a validation failure with its JSON path, so "which
+// field, why" is one string: `spec: workload.rate_per_sec: must be
+// positive, got -3`.
+func errAt(path, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if path == "" {
+		return fmt.Errorf("spec: %s", msg)
+	}
+	return fmt.Errorf("spec: %s: %s", path, msg)
+}
+
+// Validate checks the spec for structural coherence (which sections may
+// coexist), resolvable catalog names, and field ranges. Every failure
+// names the offending field by its JSON path.
+func (s *Spec) Validate() error {
+	// Section coherence first: the dispatch rules of Kind.
+	switch {
+	case s.Run != nil && (s.Serve != nil || s.Fleet != nil || s.Workload != nil):
+		return errAt("run", "mutually exclusive with workload/serve/fleet sections")
+	case s.Run == nil && s.Serve == nil && s.Fleet == nil:
+		return errAt("", "needs a run, serve, or fleet section")
+	case s.Kind() != KindRun && s.Workload == nil:
+		return errAt("workload", "required for %s specs", s.Kind())
+	}
+
+	if s.Model == "" {
+		return errAt("model", "required")
+	}
+	if _, err := models.ByName(s.Model); err != nil {
+		return errAt("model", "%v", err)
+	}
+	if s.Mode != "" {
+		if _, err := engine.ParseMode(s.Mode); err != nil {
+			return errAt("mode", "%v", err)
+		}
+	}
+
+	// Platform: run and serve specs name one (or load a file); fleet
+	// specs name platforms per group instead.
+	if s.Fleet != nil {
+		if s.Platform != "" || s.PlatformFile != "" {
+			return errAt("platform", "fleet specs name platforms per group; drop the top-level platform")
+		}
+	} else {
+		switch {
+		case s.Platform != "" && s.PlatformFile != "":
+			return errAt("platform", "platform and platform_file are mutually exclusive")
+		case s.Platform == "" && s.PlatformFile == "":
+			return errAt("platform", "required (or set platform_file)")
+		case s.Platform != "":
+			if _, err := hw.ByName(s.Platform); err != nil {
+				return errAt("platform", "%v", err)
+			}
+		}
+	}
+
+	if s.Run != nil {
+		if err := s.Run.validate(); err != nil {
+			return err
+		}
+	}
+	if s.Workload != nil {
+		if err := s.Workload.validate(); err != nil {
+			return err
+		}
+	}
+	if s.Serve != nil {
+		if err := s.Serve.validate(s.Fleet != nil); err != nil {
+			return err
+		}
+	}
+	if s.Fleet != nil {
+		if err := s.Fleet.validate(); err != nil {
+			return err
+		}
+	}
+
+	// Cross-section: the legacy prefill-only policies ignore
+	// per-request lengths, so scenario and trace workloads (whose whole
+	// point is those lengths) refuse to feed them.
+	if s.Kind() == KindServe && s.Serve != nil && s.Workload != nil {
+		policy, _ := serve.ParsePolicy(s.Serve.policyName())
+		if policy == serve.StaticBatch || policy == serve.GreedyBatch {
+			if s.Workload.Scenario != "" || s.Workload.TraceFile != "" {
+				return errAt("serve.policy", "%q is prefill-only and ignores per-request lengths; use a bare arrival workload with it", s.Serve.policyName())
+			}
+		}
+	}
+	return nil
+}
+
+func (r *RunSpec) validate() error {
+	switch {
+	case r.Batch <= 0:
+		return errAt("run.batch", "must be positive, got %d", r.Batch)
+	case r.Seq <= 0:
+		return errAt("run.seq", "must be positive, got %d", r.Seq)
+	case r.NewTokens < 0:
+		return errAt("run.new_tokens", "must be non-negative, got %d", r.NewTokens)
+	}
+	return nil
+}
+
+func (w *WorkloadSpec) validate() error {
+	if w.TraceFile != "" {
+		// A trace is the complete stream: generator knobs contradict it.
+		switch {
+		case w.Scenario != "":
+			return errAt("workload.trace_file", "mutually exclusive with scenario")
+		case w.Arrival != "" || w.Requests != 0 || w.RatePerSec != 0 || w.IntervalMs != 0:
+			return errAt("workload.trace_file", "the trace defines arrivals; drop arrival/requests/rate_per_sec/interval_ms")
+		case w.Prompt != nil || w.Output != nil:
+			return errAt("workload.trace_file", "the trace defines lengths; drop prompt/output")
+		case w.Seed != 0:
+			return errAt("workload.seed", "a replayed trace has no randomness; drop the seed")
+		}
+		return nil
+	}
+
+	if w.Requests <= 0 {
+		return errAt("workload.requests", "must be positive, got %d", w.Requests)
+	}
+	if w.Scenario != "" {
+		if _, err := serve.ParseScenario(w.Scenario); err != nil {
+			return errAt("workload.scenario", "%v", err)
+		}
+		if w.Arrival != "" && w.Arrival != "poisson" {
+			return errAt("workload.arrival", "scenario generators use poisson arrivals, got %q", w.Arrival)
+		}
+		if w.RatePerSec <= 0 {
+			return errAt("workload.rate_per_sec", "must be positive, got %g", w.RatePerSec)
+		}
+		if w.IntervalMs != 0 {
+			return errAt("workload.interval_ms", "scenario generators use rate_per_sec, not interval_ms")
+		}
+		if w.Prompt != nil {
+			if err := w.Prompt.validate("workload.prompt"); err != nil {
+				return err
+			}
+		}
+		if w.Output != nil {
+			if err := w.Output.validate("workload.output"); err != nil {
+				return err
+			}
+		}
+		if (w.Turns != 0 || w.ContextGrowth != 0) && w.Scenario != "agentic" {
+			return errAt("workload.turns", "agentic knobs need scenario \"agentic\", got %q", w.Scenario)
+		}
+		if w.Turns < 0 {
+			return errAt("workload.turns", "must be non-negative, got %d", w.Turns)
+		}
+		if w.ContextGrowth < 0 {
+			return errAt("workload.context_growth", "must be non-negative, got %d", w.ContextGrowth)
+		}
+		return nil
+	}
+
+	// Bare arrival process: lengths come from the serve config.
+	if w.Prompt != nil || w.Output != nil {
+		return errAt("workload.prompt", "length distributions need a scenario; bare arrivals use the serve config's lengths")
+	}
+	if w.Turns != 0 || w.ContextGrowth != 0 {
+		return errAt("workload.turns", "agentic knobs need scenario \"agentic\"")
+	}
+	switch w.Arrival {
+	case "", "poisson":
+		if w.RatePerSec <= 0 {
+			return errAt("workload.rate_per_sec", "must be positive, got %g", w.RatePerSec)
+		}
+		if w.IntervalMs != 0 {
+			return errAt("workload.interval_ms", "poisson arrivals use rate_per_sec, not interval_ms")
+		}
+	case "uniform":
+		if w.IntervalMs <= 0 {
+			return errAt("workload.interval_ms", "must be positive, got %g", w.IntervalMs)
+		}
+		if w.RatePerSec != 0 {
+			return errAt("workload.rate_per_sec", "uniform arrivals use interval_ms, not rate_per_sec")
+		}
+		if w.Seed != 0 {
+			return errAt("workload.seed", "uniform arrivals are deterministic; drop the seed")
+		}
+	default:
+		return errAt("workload.arrival", "unknown arrival process %q (have poisson|uniform)", w.Arrival)
+	}
+	return nil
+}
+
+func (d *LengthDistSpec) validate(path string) error {
+	switch {
+	case d.Mean <= 0:
+		return errAt(path+".mean", "must be positive, got %g", d.Mean)
+	case d.Sigma < 0:
+		return errAt(path+".sigma", "must be non-negative, got %g", d.Sigma)
+	case d.Min < 0:
+		return errAt(path+".min", "must be non-negative, got %d", d.Min)
+	case d.Max < 0:
+		return errAt(path+".max", "must be non-negative, got %d", d.Max)
+	case d.Max > 0 && d.Max < d.Min:
+		return errAt(path+".max", "must be ≥ min (%d), got %d", d.Min, d.Max)
+	}
+	return nil
+}
+
+// policyName is the serve policy with its default applied.
+func (v *ServeSpec) policyName() string {
+	if v.Policy == "" {
+		return "continuous"
+	}
+	return v.Policy
+}
+
+func (v *ServeSpec) validate(inFleet bool) error {
+	policy, err := serve.ParsePolicy(v.policyName())
+	if err != nil {
+		return errAt("serve.policy", "%v", err)
+	}
+	if inFleet && policy != serve.ContinuousBatch && policy != serve.ChunkedPrefill {
+		return errAt("serve.policy", "fleet instances need a continuous policy, got %q", v.policyName())
+	}
+	switch {
+	case v.MaxBatch < 0:
+		return errAt("serve.max_batch", "must be non-negative, got %d", v.MaxBatch)
+	case v.BatchSize < 0:
+		return errAt("serve.batch_size", "must be non-negative, got %d", v.BatchSize)
+	case v.MaxWaitMs < 0:
+		return errAt("serve.max_wait_ms", "must be non-negative, got %g", v.MaxWaitMs)
+	case v.Seq < 0:
+		return errAt("serve.seq", "must be non-negative, got %d", v.Seq)
+	case v.DefaultOutputTokens < 0:
+		return errAt("serve.default_output_tokens", "must be non-negative, got %d", v.DefaultOutputTokens)
+	case v.PrefillChunk < 0:
+		return errAt("serve.prefill_chunk", "must be non-negative, got %d", v.PrefillChunk)
+	case v.KVMemoryUtil < 0 || v.KVMemoryUtil > 1:
+		return errAt("serve.kv_memory_util", "must be in [0,1], got %g", v.KVMemoryUtil)
+	case v.KVCapacityBytes < 0:
+		return errAt("serve.kv_capacity_bytes", "must be non-negative, got %g", v.KVCapacityBytes)
+	case v.TTFTSLOMs < 0:
+		return errAt("serve.ttft_slo_ms", "must be non-negative, got %g", v.TTFTSLOMs)
+	case v.AbandonAfterMs < 0:
+		return errAt("serve.abandon_after_ms", "must be non-negative, got %g", v.AbandonAfterMs)
+	case v.LatencyBucket < 0:
+		return errAt("serve.latency_bucket", "must be non-negative, got %d", v.LatencyBucket)
+	}
+	return nil
+}
+
+// routerName is the fleet router with its default applied.
+func (f *FleetSpec) routerName() string {
+	if f.Router == "" {
+		return "least-queue"
+	}
+	return f.Router
+}
+
+func (f *FleetSpec) validate() error {
+	if len(f.Groups) == 0 {
+		return errAt("fleet.groups", "needs at least one group")
+	}
+	seen := make(map[string]bool)
+	for i, g := range f.Groups {
+		path := fmt.Sprintf("fleet.groups[%d]", i)
+		if g.Platform == "" {
+			return errAt(path+".platform", "required")
+		}
+		p, err := hw.ByName(g.Platform)
+		if err != nil {
+			return errAt(path+".platform", "%v", err)
+		}
+		if g.Count <= 0 {
+			return errAt(path+".count", "must be positive, got %d", g.Count)
+		}
+		if seen[p.Name] {
+			return errAt(path+".platform", "%q appears twice; merge the counts into one group", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if _, err := cluster.ParsePolicy(f.routerName()); err != nil {
+		return errAt("fleet.router", "%v", err)
+	}
+	switch {
+	case f.ShortPrompt < 0:
+		return errAt("fleet.short_prompt", "must be non-negative, got %d", f.ShortPrompt)
+	case f.AdmitRatePerSec < 0:
+		return errAt("fleet.admit_rate_per_sec", "must be non-negative, got %g", f.AdmitRatePerSec)
+	case f.AdmitBurst < 0:
+		return errAt("fleet.admit_burst", "must be non-negative, got %g", f.AdmitBurst)
+	}
+	return nil
+}

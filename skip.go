@@ -14,7 +14,17 @@
 //     transition and crossover detection.
 //   - RecommendFusion: the proximity-score kernel-fusion recommender.
 //
-// Quick start:
+// The declarative entry point is a Spec: one JSON-serializable document
+// describing platform/model/mode, the workload (scenario generators,
+// arrival processes, or a logged request trace), the serving
+// configuration, and optionally a fleet. Simulate dispatches it to the
+// right layer and returns a unified Report:
+//
+//	sp, err := skip.LoadSpec("experiment.json")
+//	rep, err := skip.Simulate(sp, skip.WithObserver(func(e skip.Event) { … }))
+//	fmt.Println(rep.Kind, rep.Serve.P95TTFT)
+//
+// Quick start (imperative single run):
 //
 //	res, err := skip.Run(skip.GH200, "llama-3.2-1B", 1, 512, skip.ModeEager)
 //	metrics, _, err := skip.Profile(res.Trace)
@@ -32,6 +42,7 @@ import (
 	"github.com/skipsim/skip/internal/models"
 	"github.com/skipsim/skip/internal/serve"
 	"github.com/skipsim/skip/internal/sim"
+	"github.com/skipsim/skip/internal/spec"
 	"github.com/skipsim/skip/internal/trace"
 )
 
@@ -281,6 +292,11 @@ const (
 )
 
 // Serve simulates an inference server over a request stream.
+//
+// Deprecated: build a Spec with a workload and serve section and call
+// Simulate; it shares this code path and adds validation, event
+// streaming, and JSON round-tripping. Serve remains as a thin wrapper
+// for imperative callers.
 func Serve(cfg ServeConfig, requests []ServeRequest) (*ServeStats, error) {
 	return serve.Simulate(cfg, requests)
 }
@@ -338,6 +354,11 @@ const (
 )
 
 // SimulateCluster runs a fleet simulation over a request stream.
+//
+// Deprecated: build a Spec with a workload and fleet section and call
+// Simulate; it shares this code path and adds validation, event
+// streaming, and JSON round-tripping. SimulateCluster remains as a thin
+// wrapper for imperative callers.
 func SimulateCluster(cfg ClusterConfig, requests []ServeRequest) (*ClusterStats, error) {
 	return cluster.Simulate(cfg, requests)
 }
@@ -354,7 +375,98 @@ func RouterPolicies() []RouterPolicy { return cluster.Policies() }
 func ParseFleet(spec string) ([]FleetGroup, error) { return cluster.ParseFleet(spec) }
 
 // FleetConfigs expands fleet groups over a base serving config, one
-// config per instance with the group's platform substituted.
-func FleetConfigs(groups []FleetGroup, base ServeConfig) []ServeConfig {
+// config per instance with the group's platform substituted. Groups
+// with a nil platform or non-positive count are rejected.
+func FleetConfigs(groups []FleetGroup, base ServeConfig) ([]ServeConfig, error) {
 	return cluster.FleetConfigs(groups, base)
 }
+
+// Spec API: the declarative, JSON-serializable entry point. One Spec
+// document selects the simulation layer by which sections are present —
+// run (engine), workload+serve (serving instance), workload+fleet
+// (routed cluster) — and Simulate returns a unified Report. See the
+// spec package documentation for the JSON schema.
+type (
+	// Spec is a complete experiment description.
+	Spec = spec.Spec
+	// RunSpec is the single-inference section of a Spec.
+	RunSpec = spec.RunSpec
+	// WorkloadSpec describes the request stream (scenario, arrival
+	// process, or request-trace file).
+	WorkloadSpec = spec.WorkloadSpec
+	// ServeSpec is the serving section of a Spec.
+	ServeSpec = spec.ServeSpec
+	// FleetSpec is the fleet section of a Spec.
+	FleetSpec = spec.FleetSpec
+	// FleetGroupSpec is one homogeneous slice of a FleetSpec.
+	FleetGroupSpec = spec.FleetGroupSpec
+	// LengthDistSpec is a token-length distribution in JSON form.
+	LengthDistSpec = spec.LengthDistSpec
+	// Report is Simulate's unified outcome, discriminated by Kind.
+	Report = spec.Report
+	// ReportKind names the simulation layer a Spec dispatched to.
+	ReportKind = spec.Kind
+	// SimOption customizes a Simulate call (observers, progress ticks).
+	SimOption = spec.Option
+	// Event is one observation of a running simulation.
+	Event = serve.Event
+	// EventType classifies an Event.
+	EventType = serve.EventType
+	// Observer receives simulation events as they happen.
+	Observer = serve.Observer
+)
+
+// Report kinds.
+const (
+	KindRun     = spec.KindRun
+	KindServe   = spec.KindServe
+	KindCluster = spec.KindCluster
+)
+
+// Simulation lifecycle event types.
+const (
+	EventArrival    = serve.EventArrival
+	EventRejected   = serve.EventRejected
+	EventUnroutable = serve.EventUnroutable
+	EventRouted     = serve.EventRouted
+	EventAdmitted   = serve.EventAdmitted
+	EventPreempted  = serve.EventPreempted
+	EventAbandoned  = serve.EventAbandoned
+	EventFirstToken = serve.EventFirstToken
+	EventCompleted  = serve.EventCompleted
+	EventProgress   = serve.EventProgress
+)
+
+// Simulate validates the spec and runs it on the matching layer —
+// engine, serving instance, or cluster — returning a unified Report.
+// Deterministic for a fixed spec: the CLI, bench experiments, and
+// library callers sharing a spec reproduce identical numbers.
+func Simulate(s *Spec, opts ...SimOption) (*Report, error) { return spec.Simulate(s, opts...) }
+
+// WithObserver streams simulation events (arrival, routing, admission,
+// preemption, first token, completion, progress ticks) to fn in
+// deterministic order.
+func WithObserver(fn Observer) SimOption { return spec.WithObserver(fn) }
+
+// WithProgressEvery emits an EventProgress tick every n completions
+// (default: every 10% of the workload).
+func WithProgressEvery(n int) SimOption { return spec.WithProgressEvery(n) }
+
+// LoadSpec reads a spec file; relative trace_file / platform_file
+// references resolve against the file's directory.
+func LoadSpec(path string) (*Spec, error) { return spec.Load(path) }
+
+// ParseSpec decodes a Spec from JSON, rejecting unknown fields.
+func ParseSpec(data []byte) (*Spec, error) { return spec.Parse(data) }
+
+// SaveSpec writes a spec as indented JSON; SaveSpec∘LoadSpec is the
+// identity.
+func SaveSpec(s *Spec, path string) error { return spec.Save(s, path) }
+
+// ParseMode maps a mode name ("eager", "flash", "compile-default", …)
+// to an execution Mode.
+func ParseMode(name string) (Mode, error) { return engine.ParseMode(name) }
+
+// LoadRequestTrace reads a request-trace CSV file (columns arrival_ms,
+// prompt_tokens, output_tokens, session_id) for trace-replay workloads.
+func LoadRequestTrace(path string) ([]ServeRequest, error) { return serve.LoadTraceFile(path) }
