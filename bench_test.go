@@ -61,6 +61,7 @@ func BenchmarkExt6Serving(b *testing.B)           { benchArtifact(b, "ext6-servi
 func BenchmarkExt7TCProjection(b *testing.B)      { benchArtifact(b, "ext7-tc-projection") }
 func BenchmarkExt8Continuous(b *testing.B)        { benchArtifact(b, "ext8-continuous") }
 func BenchmarkExt9Cluster(b *testing.B)           { benchArtifact(b, "ext9-cluster") }
+func BenchmarkExt10Disagg(b *testing.B)           { benchArtifact(b, "ext10-disagg") }
 
 // Micro-benchmarks of the library's hot paths.
 

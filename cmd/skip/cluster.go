@@ -13,10 +13,14 @@ import (
 // flags into the same experiment Spec that `skip sim` loads from disk.
 func cmdCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
-	fleetSpec := fs.String("fleet", "GH200:2,Intel+H100:2", "fleet spec: comma-separated platform:count (see `skip platforms`)")
+	fleetSpec := fs.String("fleet", "GH200:2,Intel+H100:2", "fleet spec: comma-separated platform:count[/role]; tagging roles (prefill|decode|both) enables prefill/decode disaggregation, e.g. GH200:2/prefill,Intel+H100:6/decode")
 	modelName := fs.String("model", "llama-3.2-1B", "model served by every instance")
 	modeName := fs.String("mode", "eager", "execution mode: eager|flash|compile-default|compile-reduce-overhead|compile-max-autotune")
-	routerName := fs.String("router", "least-queue", "routing policy: round-robin|least-queue|least-kv|session-affinity|platform-aware")
+	routerName := fs.String("router", "least-queue", "routing policy: round-robin|least-queue|least-kv|session-affinity|platform-aware (monolithic fleets; disaggregated fleets use -prefill-router/-decode-router)")
+	prefillRouter := fs.String("prefill-router", "", "disaggregated fleets: prefill-pool placement policy (default least-queue)")
+	decodeRouter := fs.String("decode-router", "", "disaggregated fleets: decode-pool placement policy (default least-kv)")
+	hostHop := fs.Float64("host-hop", 0, "disaggregated fleets: KV-transfer wire-time multiplier per loosely-coupled endpoint (0: default 2)")
+	transferGBps := fs.Float64("kv-transfer-gbps", 0, "disaggregated fleets: override the KV-transfer link bandwidth in GB/s (0: the endpoints' interconnects)")
 	shortPrompt := fs.Int64("short-prompt", 512, "platform-aware: prompts ≤ this many tokens prefer coupled instances")
 	policyName := fs.String("policy", "continuous", "per-instance batching: continuous|chunked-prefill")
 	workload := fs.String("workload", "mixed", "request stream: chat|agentic|summarize|mixed or trace:file.csv")
@@ -40,8 +44,20 @@ func cmdCluster(args []string) error {
 		return err
 	}
 	groups := make([]skip.FleetGroupSpec, len(parsed))
+	disaggregated := false
 	for i, g := range parsed {
-		groups[i] = skip.FleetGroupSpec{Platform: g.Platform.Name, Count: g.Count}
+		groups[i] = skip.FleetGroupSpec{Platform: g.Platform.Name, Count: g.Count, Role: g.Role}
+		if g.Role != "" {
+			disaggregated = true
+		}
+	}
+	if !disaggregated && (*prefillRouter != "" || *decodeRouter != "" || *hostHop != 0 || *transferGBps != 0) {
+		return fmt.Errorf("-prefill-router/-decode-router/-host-hop/-kv-transfer-gbps need a role-tagged fleet (e.g. -fleet GH200:2/prefill,Intel+H100:2/decode)")
+	}
+	routerSet := false
+	fs.Visit(func(f *flag.Flag) { routerSet = routerSet || f.Name == "router" })
+	if disaggregated && routerSet {
+		return fmt.Errorf("disaggregated fleets route per pool: use -prefill-router/-decode-router instead of -router")
 	}
 	if *kvUtil <= 0 || *kvUtil > 1 {
 		return fmt.Errorf("-kv-util must be in (0,1], got %g", *kvUtil)
@@ -70,6 +86,17 @@ func cmdCluster(args []string) error {
 			AdmitRatePerSec: *admitRate,
 			AdmitBurst:      *admitBurst,
 		},
+	}
+	if disaggregated {
+		// Disaggregated fleets route per pool; the -router flag's default
+		// must not trip the spec's mutual-exclusion check.
+		sp.Fleet.Router = ""
+		sp.Fleet.Disaggregation = &skip.DisaggregationSpec{
+			PrefillRouter:     *prefillRouter,
+			DecodeRouter:      *decodeRouter,
+			HostHopMultiplier: *hostHop,
+			BandwidthGBps:     *transferGBps,
+		}
 	}
 	rep, err := skip.Simulate(sp)
 	if err != nil {

@@ -86,11 +86,16 @@ commands:
   cluster      simulate a multi-instance heterogeneous fleet behind a
                router (-fleet GH200:4,Intel+H100:4, -router round-robin|
                least-queue|least-kv|session-affinity|platform-aware,
-               -admit-rate token-bucket admission)
+               -admit-rate token-bucket admission); tagging fleet groups
+               with roles (-fleet GH200:2/prefill,Intel+H100:2/decode)
+               enables prefill/decode disaggregation with an
+               interconnect-priced KV handoff (-prefill-router,
+               -decode-router, -host-hop, -kv-transfer-gbps)
   sim          run a declarative experiment spec (-spec file.json): one
-               JSON document selecting engine, serve, or cluster
-               simulation, with scenario, arrival-process, or
-               trace-replay workloads (see examples/specs/)
+               JSON document selecting engine, serve, cluster, or
+               disaggregated simulation, with scenario, arrival-process,
+               or trace-replay workloads (see examples/specs/); -json
+               prints the unified report machine-consumably
   microbench   nullKernel launch-overhead microbenchmark (Table V)
 
 run, generate, serve, and cluster are thin adapters that translate their

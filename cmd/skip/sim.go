@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	skip "github.com/skipsim/skip"
@@ -16,6 +17,7 @@ func cmdSim(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "experiment spec file (JSON; see `skip sim -h` and README)")
 	events := fs.Bool("events", false, "stream simulation events (arrival/routed/admitted/…) to stdout")
+	jsonOut := fs.Bool("json", false, "print the unified report as JSON (stable field order; times in virtual ns) instead of text")
 	out := fs.String("o", "", "run specs: write the trace to this Chrome-trace JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -33,15 +35,29 @@ func cmdSim(args []string) error {
 		if sp.Kind() == skip.KindRun {
 			return fmt.Errorf("sim: -events needs a serve or fleet spec (run specs emit no lifecycle events)")
 		}
+		// With -json, stdout must stay one parseable document: the event
+		// stream moves to stderr.
+		eventSink := os.Stdout
+		if *jsonOut {
+			eventSink = os.Stderr
+		}
 		opts = append(opts, skip.WithObserver(func(e skip.Event) {
-			fmt.Println("  event:", e)
+			fmt.Fprintln(eventSink, "  event:", e)
 		}))
 	}
 	rep, err := skip.Simulate(sp, opts...)
 	if err != nil {
 		return err
 	}
-	printReport(sp, rep)
+	if *jsonOut {
+		data, err := skip.ReportJSON(rep)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	} else {
+		printReport(sp, rep)
+	}
 
 	if *out != "" {
 		tr := traceOf(rep)
@@ -80,6 +96,8 @@ func printReport(sp *skip.Spec, rep *skip.Report) {
 		printServeReport(sp, rep)
 	case skip.KindCluster:
 		printClusterReport(sp, rep)
+	case skip.KindDisagg:
+		printDisaggReport(sp, rep)
 	}
 }
 
@@ -177,6 +195,48 @@ func printClusterReport(sp *skip.Spec, rep *skip.Report) {
 			is.Name, is.Routed, is.Serve.Completed,
 			is.Serve.P95TTFT, is.Serve.P95E2E, is.Serve.TokensPerSec,
 			is.Serve.PeakKVFrac*100, is.Serve.Preemptions)
+	}
+}
+
+func printDisaggReport(sp *skip.Spec, rep *skip.Report) {
+	stats := rep.Disagg
+	var fleetDesc []string
+	for _, g := range sp.Fleet.Groups {
+		role := g.Role
+		if role == "" {
+			role = "both"
+		}
+		fleetDesc = append(fleetDesc, fmt.Sprintf("%s:%d/%s", g.Platform, g.Count, role))
+	}
+	fmt.Printf("disagg fleet %s  model=%s prefill-router=%s decode-router=%s workload=%s  %d requests\n",
+		strings.Join(fleetDesc, ","), sp.Model, stats.PrefillPolicy, stats.DecodePolicy,
+		workloadLabel(sp.Workload), rep.Offered)
+	fmt.Printf("  ledger       %d offered = %d rejected + %d unroutable + %d routed\n",
+		stats.Offered, stats.Rejected, stats.Unroutable, stats.Routed)
+	fmt.Printf("  handoffs     %d handed off = %d resumed + %d dropped  (%d completed, %d abandoned, %d preempted)\n",
+		stats.HandedOff, stats.Resumed, stats.TransferDrops,
+		stats.Completed, stats.Abandoned, stats.Preemptions)
+	fmt.Printf("  KV transfer  %d transfers, %.2f GB moved  wire mean %v max %v  stall mean %v\n",
+		stats.Transfers, stats.KVBytesMoved/1e9,
+		stats.MeanTransfer, stats.MaxTransfer, stats.MeanTransferStall)
+	fmt.Printf("  TTFT         mean %v  P50 %v  P95 %v  P99 %v  max %v\n",
+		stats.MeanTTFT, stats.P50TTFT, stats.P95TTFT, stats.P99TTFT, stats.MaxTTFT)
+	fmt.Printf("  TPOT         mean %v  P50 %v  P95 %v\n", stats.MeanTPOT, stats.P50TPOT, stats.P95TPOT)
+	fmt.Printf("  E2E          mean %v  P50 %v  P95 %v  max %v\n",
+		stats.MeanE2E, stats.P50E2E, stats.P95E2E, stats.MaxE2E)
+	fmt.Printf("  throughput   %.1f req/s  (%.0f tok/s)", stats.Throughput, stats.TokensPerSec)
+	if sp.Serve != nil && sp.Serve.TTFTSLOMs > 0 {
+		fmt.Printf("  goodput %.1f req/s, %.0f%% in SLO", stats.Goodput, stats.SLOAttainment*100)
+	}
+	fmt.Println()
+	fmt.Printf("  imbalance    %.3f (CV of per-instance placed work)\n\n", stats.LoadImbalance)
+
+	fmt.Printf("  %-24s %7s %7s %7s %12s %9s %8s\n",
+		"instance", "routed", "resumed", "done", "P95 TTFT", "tok/s", "peak KV")
+	for _, is := range stats.Instances {
+		fmt.Printf("  %-24s %7d %7d %7d %12v %9.0f %7.1f%%\n",
+			is.Name, is.Routed, is.Resumed, is.Serve.Completed,
+			is.Serve.P95TTFT, is.Serve.TokensPerSec, is.Serve.PeakKVFrac*100)
 	}
 }
 

@@ -6,31 +6,31 @@ import (
 	"github.com/skipsim/skip/internal/sim"
 )
 
-// tokenBucket is the front-end admission controller: requests spend one
+// TokenBucket is the front-end admission controller: requests spend one
 // token each, tokens refill continuously at rate per second up to
 // burst, and a request arriving to an empty bucket is rejected
 // outright. Refill is computed lazily from elapsed simulated time, so
 // admission decisions are exactly reproducible for a given arrival
 // stream.
-type tokenBucket struct {
+type TokenBucket struct {
 	rate   float64 // tokens per second
 	burst  float64
 	tokens float64
 	last   sim.Time
 }
 
-// newTokenBucket starts a full bucket. A non-positive burst defaults to
+// NewTokenBucket starts a full bucket. A non-positive burst defaults to
 // one second's refill, but never below a single token.
-func newTokenBucket(rate, burst float64) *tokenBucket {
+func NewTokenBucket(rate, burst float64) *TokenBucket {
 	if burst <= 0 {
 		burst = math.Max(1, rate)
 	}
-	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
 }
 
-// allow refills for the time elapsed since the last decision and spends
+// Allow refills for the time elapsed since the last decision and spends
 // one token if available.
-func (tb *tokenBucket) allow(now sim.Time) bool {
+func (tb *TokenBucket) Allow(now sim.Time) bool {
 	if now > tb.last {
 		tb.tokens = math.Min(tb.burst, tb.tokens+tb.rate*(now-tb.last).Seconds())
 		tb.last = now

@@ -91,7 +91,7 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 		}
 		name := fmt.Sprintf("%s#%d", icfg.Platform.Name, i)
 		if cfg.Observer != nil {
-			icfg.Observer = stampInstance(name, cfg.Observer, icfg.Observer)
+			icfg.Observer = StampInstance(name, cfg.Observer, icfg.Observer)
 		}
 		in, err := serve.NewInstance(name, icfg, cal)
 		if err != nil {
@@ -101,9 +101,9 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 	}
 
 	rt := newRouter(cfg.Policy, cfg.ShortPrompt)
-	var admit *tokenBucket
+	var admit *TokenBucket
 	if cfg.AdmitRatePerSec > 0 {
-		admit = newTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
+		admit = NewTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
 	}
 
 	frontDoor := func(now sim.Time, t serve.EventType, req serve.Request, instance string) {
@@ -124,7 +124,7 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 			if routeErr != nil {
 				return
 			}
-			if admit != nil && !admit.allow(now) {
+			if admit != nil && !admit.Allow(now) {
 				rejected++
 				frontDoor(now, serve.EventRejected, req, "")
 				return
@@ -175,10 +175,11 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 	return st, nil
 }
 
-// stampInstance adapts the fleet observer for one instance: events the
+// StampInstance adapts a fleet observer for one instance: events the
 // instance emits carry its name, and any observer already set on the
-// instance config keeps firing unstamped.
-func stampInstance(name string, fleet, own serve.Observer) serve.Observer {
+// instance config keeps firing unstamped. Shared by every fleet
+// assembler (cluster, disagg).
+func StampInstance(name string, fleet, own serve.Observer) serve.Observer {
 	return func(e serve.Event) {
 		if own != nil {
 			own(e)

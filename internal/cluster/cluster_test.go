@@ -252,25 +252,25 @@ func TestClusterLeastKVPrefersEmptierBudget(t *testing.T) {
 }
 
 func TestTokenBucket(t *testing.T) {
-	tb := newTokenBucket(10, 2) // 10/s refill, depth 2, starts full
-	if !tb.allow(0) || !tb.allow(0) {
+	tb := NewTokenBucket(10, 2) // 10/s refill, depth 2, starts full
+	if !tb.Allow(0) || !tb.Allow(0) {
 		t.Fatal("a full depth-2 bucket must admit two instant requests")
 	}
-	if tb.allow(0) {
+	if tb.Allow(0) {
 		t.Fatal("the third instant request must be rejected")
 	}
 	// 100ms refills one token.
-	if !tb.allow(100 * sim.Millisecond) {
+	if !tb.Allow(100 * sim.Millisecond) {
 		t.Fatal("one token refilled after 100ms")
 	}
-	if tb.allow(100 * sim.Millisecond) {
+	if tb.Allow(100 * sim.Millisecond) {
 		t.Fatal("only one token refilled")
 	}
 	// A long gap refills to the cap, not beyond.
-	if !tb.allow(10*sim.Second) || !tb.allow(10*sim.Second) {
+	if !tb.Allow(10*sim.Second) || !tb.Allow(10*sim.Second) {
 		t.Fatal("burst cap refilled")
 	}
-	if tb.allow(10 * sim.Second) {
+	if tb.Allow(10 * sim.Second) {
 		t.Fatal("burst cap must bound the refill")
 	}
 }

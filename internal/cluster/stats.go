@@ -93,14 +93,14 @@ func assembleStats(cfg Config, instances []*serve.Instance, offered, rejected, u
 		})
 	}
 
-	st.MeanTTFT, st.MaxTTFT = meanMax(ttfts)
+	st.MeanTTFT, st.MaxTTFT = MeanMax(ttfts)
 	st.P50TTFT = serve.Percentile(ttfts, 50)
 	st.P95TTFT = serve.Percentile(ttfts, 95)
 	st.P99TTFT = serve.Percentile(ttfts, 99)
-	st.MeanTPOT, _ = meanMax(tpots)
+	st.MeanTPOT, _ = MeanMax(tpots)
 	st.P50TPOT = serve.Percentile(tpots, 50)
 	st.P95TPOT = serve.Percentile(tpots, 95)
-	st.MeanE2E, st.MaxE2E = meanMax(e2es)
+	st.MeanE2E, st.MaxE2E = MeanMax(e2es)
 	st.P50E2E = serve.Percentile(e2es, 50)
 	st.P95E2E = serve.Percentile(e2es, 95)
 
@@ -110,11 +110,18 @@ func assembleStats(cfg Config, instances []*serve.Instance, offered, rejected, u
 		st.TokensPerSec = float64(tokensOut) / sec
 	}
 	st.SLOAttainment, st.Goodput = serve.SLOGoodput(ttfts, cfg.TTFTSLO, st.Horizon, st.Throughput)
-	st.LoadImbalance = imbalance(st.Instances)
+	counts := make([]int, len(st.Instances))
+	for i, is := range st.Instances {
+		counts[i] = is.Routed
+	}
+	st.LoadImbalance = ImbalanceCV(counts)
 	return st
 }
 
-func meanMax(ts []sim.Time) (mean, max sim.Time) {
+// MeanMax returns the mean and maximum of a latency sample set (0, 0
+// when empty). Shared by every fleet-statistics assembler (cluster,
+// disagg).
+func MeanMax(ts []sim.Time) (mean, max sim.Time) {
 	if len(ts) == 0 {
 		return 0, 0
 	}
@@ -128,24 +135,25 @@ func meanMax(ts []sim.Time) (mean, max sim.Time) {
 	return sum / sim.Time(len(ts)), max
 }
 
-// imbalance is the coefficient of variation of per-instance routed
-// counts.
-func imbalance(instances []InstanceStats) float64 {
-	if len(instances) == 0 {
+// ImbalanceCV is the coefficient of variation (stddev/mean) of
+// per-instance work counts: 0 for a perfectly even split, growing as
+// placement concentrates load.
+func ImbalanceCV(counts []int) float64 {
+	if len(counts) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, is := range instances {
-		sum += float64(is.Routed)
+	for _, c := range counts {
+		sum += float64(c)
 	}
-	mean := sum / float64(len(instances))
+	mean := sum / float64(len(counts))
 	if mean == 0 {
 		return 0
 	}
 	var ss float64
-	for _, is := range instances {
-		d := float64(is.Routed) - mean
+	for _, c := range counts {
+		d := float64(c) - mean
 		ss += d * d
 	}
-	return math.Sqrt(ss/float64(len(instances))) / mean
+	return math.Sqrt(ss/float64(len(counts))) / mean
 }

@@ -1,0 +1,343 @@
+// Package disagg simulates prefill/decode disaggregated serving: fleet
+// groups take a role — prefill, decode, or both — and requests routed
+// to a prefill-pool instance run prompt processing only, then hand
+// their KV cache to a decode-pool instance over an explicit transfer
+// model priced from the platforms' interconnects (see TransferModel).
+//
+// This operationalizes the paper's central asymmetry at fleet scale:
+// prefill is compute-bound, decode is memory-bandwidth-bound, and the
+// two phases want different hardware — but splitting them (DistServe/
+// Splitwise-style) only pays if moving the KV state is cheap enough.
+// Coupled architectures change exactly that economics: a GH200's
+// NVLink-C2C hands a cache off at 450 GB/s through unified memory,
+// while a discrete PCIe node store-and-forwards it through host DRAM.
+// The package exists to find the crossover.
+//
+// The simulator composes serve.Instance (split lifecycle:
+// AcceptPrefill / Resume) and cluster's routing and admission
+// primitives under one shared calendar; each (source, destination)
+// instance pair is a FIFO transfer link, and the request ledger
+// reconciles exactly — every prefill completion is matched by exactly
+// one decode completion or a reported drop.
+package disagg
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/skipsim/skip/internal/cluster"
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// Role assigns a fleet group to a disaggregation pool.
+type Role int
+
+const (
+	// RoleBoth serves requests end to end — a monolithic instance that
+	// participates in prefill placement and can also absorb handoffs.
+	RoleBoth Role = iota
+	// RolePrefill runs prompt processing only: every admitted request
+	// stops at its first token and hands its KV cache away.
+	RolePrefill
+	// RoleDecode resumes handed-off requests mid-stream; the front door
+	// never routes fresh arrivals here.
+	RoleDecode
+)
+
+func (r Role) String() string {
+	switch r {
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	case RoleBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// ParseRole maps a fleet-spec role name to a Role; the empty string is
+// RoleBoth (an untagged group serves monolithically).
+func ParseRole(name string) (Role, error) {
+	switch name {
+	case "prefill":
+		return RolePrefill, nil
+	case "decode":
+		return RoleDecode, nil
+	case "both", "":
+		return RoleBoth, nil
+	}
+	return 0, fmt.Errorf("disagg: unknown role %q (have prefill|decode|both)", name)
+}
+
+// Group is one homogeneous slice of a disaggregated fleet.
+type Group struct {
+	Platform *hw.Platform
+	Count    int
+	Role     Role
+}
+
+// Config parameterizes a disaggregated fleet simulation.
+type Config struct {
+	// Groups lists the fleet's slices with their roles. At least one
+	// prefill-capable (prefill|both) and one decode-capable
+	// (decode|both) group are required.
+	Groups []Group
+	// Base is the serving config every instance inherits (model, policy,
+	// KV knobs, SLO) with its group's platform substituted; it must use
+	// a continuous policy.
+	Base serve.Config
+	// PrefillPolicy places fresh arrivals on the prefill pool. Like
+	// cluster.Config's Policy, the zero value is RoundRobin; the spec
+	// front door (fleet.disaggregation) defaults to least-queue instead.
+	PrefillPolicy cluster.Policy
+	// DecodePolicy places completed prefills on the decode pool. Zero
+	// value RoundRobin; the spec front door defaults to least-kv —
+	// decode placement is a KV-capacity decision.
+	DecodePolicy cluster.Policy
+	// ShortPrompt is the platform-aware policies' regime boundary in
+	// prompt tokens (default 512).
+	ShortPrompt int64
+	// Transfer prices the KV handoff between pools.
+	Transfer TransferModel
+	// TTFTSLO is the fleet time-to-first-token objective for goodput
+	// accounting (also copied into instance configs that set none).
+	TTFTSLO sim.Time
+	// AdmitRatePerSec / AdmitBurst enable token-bucket admission control
+	// at the front door (0 disables).
+	AdmitRatePerSec float64
+	AdmitBurst      float64
+	// Observer receives front-door events (routed, rejected,
+	// unroutable), KV-transfer events (kv-transfer-start/done with the
+	// source→destination link), and every instance's lifecycle events
+	// with the instance name stamped in.
+	Observer serve.Observer
+}
+
+func (c *Config) validate() error {
+	if len(c.Groups) == 0 {
+		return fmt.Errorf("disagg: config needs at least one group")
+	}
+	var prefillable, decodable int
+	for i, g := range c.Groups {
+		if g.Platform == nil {
+			return fmt.Errorf("disagg: group %d needs a platform", i)
+		}
+		if g.Count <= 0 {
+			return fmt.Errorf("disagg: group %d (%s) needs a positive count, got %d", i, g.Platform.Name, g.Count)
+		}
+		if g.Role != RolePrefill {
+			decodable += g.Count
+		}
+		if g.Role != RoleDecode {
+			prefillable += g.Count
+		}
+	}
+	if prefillable == 0 {
+		return fmt.Errorf("disagg: fleet has no prefill-capable (prefill or both) instances")
+	}
+	if decodable == 0 {
+		return fmt.Errorf("disagg: fleet has no decode-capable (decode or both) instances")
+	}
+	if c.Base.Model == nil {
+		return fmt.Errorf("disagg: base config needs a model")
+	}
+	if c.AdmitRatePerSec < 0 {
+		return fmt.Errorf("disagg: admission rate must be non-negative, got %g", c.AdmitRatePerSec)
+	}
+	return c.Transfer.validate()
+}
+
+// member is one instance with its disaggregation role.
+type member struct {
+	in   *serve.Instance
+	role Role
+}
+
+// Simulate runs the disaggregated fleet over the request stream and
+// returns fleet statistics with an exactly reconciled ledger. The whole
+// simulation is deterministic for a fixed stream and config.
+func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(requests) == 0 {
+		return nil, fmt.Errorf("disagg: no requests")
+	}
+	reqs := make([]serve.Request, len(requests))
+	copy(reqs, requests)
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+
+	cal := sim.NewCalendar()
+	var members []member
+	idx := 0
+	for _, g := range cfg.Groups {
+		for k := 0; k < g.Count; k++ {
+			icfg := cfg.Base
+			icfg.Platform = g.Platform
+			if icfg.TTFTSLO == 0 {
+				icfg.TTFTSLO = cfg.TTFTSLO
+			}
+			name := fmt.Sprintf("%s/%s#%d", g.Platform.Name, g.Role, idx)
+			if cfg.Observer != nil {
+				icfg.Observer = cluster.StampInstance(name, cfg.Observer, icfg.Observer)
+			}
+			in, err := serve.NewInstance(name, icfg, cal)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, member{in: in, role: g.Role})
+			idx++
+		}
+	}
+
+	// The pools: prefill-capable instances face the front door,
+	// decode-capable ones absorb handoffs. RoleBoth members sit in both.
+	var prefillPool, decodePool []*serve.Instance
+	var prefillIdx, decodeIdx []int // pool position → member index
+	for i, m := range members {
+		if m.role != RoleDecode {
+			prefillPool = append(prefillPool, m.in)
+			prefillIdx = append(prefillIdx, i)
+		}
+		if m.role != RolePrefill {
+			decodePool = append(decodePool, m.in)
+			decodeIdx = append(decodeIdx, i)
+		}
+	}
+
+	prefillRouter := cluster.NewRouter(cfg.PrefillPolicy, cfg.ShortPrompt)
+	decodeRouter := cluster.NewRouter(cfg.DecodePolicy, cfg.ShortPrompt)
+	var admit *cluster.TokenBucket
+	if cfg.AdmitRatePerSec > 0 {
+		admit = cluster.NewTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
+	}
+
+	emit := func(now sim.Time, t serve.EventType, req serve.Request, instance, link string) {
+		if cfg.Observer == nil {
+			return
+		}
+		cfg.Observer(serve.Event{
+			Time: now, Type: t,
+			RequestID: req.ID, SessionID: req.SessionID,
+			Instance: instance, Link: link,
+		})
+	}
+
+	bytesPerTok := serve.KVBytesPerToken(cfg.Base.Model)
+	links := make(map[[2]int]sim.Time) // (src,dst) member pair → busy-until
+	var rejected, unroutable, transferDrops, transfers int
+	var bytesMoved float64
+	var wireTotal, stallTotal, wireMax sim.Time
+	var simErr error
+
+	// handoff places one completed prefill on the decode pool and ships
+	// its KV cache over the (src, dst) link: the transfer starts when
+	// the link frees (FIFO per link) and the request resumes the instant
+	// the cache lands.
+	handoff := func(now sim.Time, src int, h serve.Handoff) {
+		if simErr != nil {
+			return
+		}
+		hr := h.Req
+		hr.PromptLen, hr.OutputLen = h.PromptLen, h.OutputLen
+		d := decodeRouter.Pick(hr, decodePool)
+		if d < 0 {
+			// No decode instance can ever hold this request: the prefill
+			// work is lost and the drop is reported in the ledger.
+			transferDrops++
+			emit(now, serve.EventUnroutable, h.Req, members[src].in.Name(), "")
+			return
+		}
+		dst := decodeIdx[d]
+		dstIn := members[dst].in
+		bytes := float64(h.KVLen) * bytesPerTok
+		wire := cfg.Transfer.Time(members[src].in.Platform(), dstIn.Platform(), bytes)
+		key := [2]int{src, dst}
+		start := now
+		if links[key] > start {
+			start = links[key]
+		}
+		done := start + wire
+		links[key] = done
+		transfers++
+		bytesMoved += bytes
+		wireTotal += wire
+		stallTotal += done - now
+		if wire > wireMax {
+			wireMax = wire
+		}
+		link := members[src].in.Name() + "→" + dstIn.Name()
+		srcName := members[src].in.Name()
+		cal.Schedule(start, func(at sim.Time) {
+			emit(at, serve.EventKVTransferStart, h.Req, srcName, link)
+		})
+		cal.Schedule(done, func(at sim.Time) {
+			emit(at, serve.EventKVTransferDone, h.Req, dstIn.Name(), link)
+			if err := dstIn.Resume(at, h); err != nil {
+				// Pick only offers instances that fit, so Resume cannot
+				// refuse; treat a refusal as the bug it would be.
+				simErr = fmt.Errorf("disagg: %s refused resumed request %d: %w", dstIn.Name(), h.Req.ID, err)
+			}
+		})
+	}
+
+	for i := range reqs {
+		req := reqs[i]
+		cal.Schedule(req.Arrival, func(now sim.Time) {
+			if simErr != nil {
+				return
+			}
+			if admit != nil && !admit.Allow(now) {
+				rejected++
+				emit(now, serve.EventRejected, req, "", "")
+				return
+			}
+			p := prefillRouter.Pick(req, prefillPool)
+			if p < 0 {
+				unroutable++
+				emit(now, serve.EventUnroutable, req, "", "")
+				return
+			}
+			src := prefillIdx[p]
+			m := members[src]
+			emit(now, serve.EventRouted, req, m.in.Name(), "")
+			var err error
+			if m.role == RoleBoth {
+				err = m.in.Accept(now, req)
+			} else {
+				err = m.in.AcceptPrefill(now, req, func(at sim.Time, h serve.Handoff) {
+					handoff(at, src, h)
+				})
+			}
+			if err != nil {
+				simErr = fmt.Errorf("disagg: %s refused routed request %d: %w", m.in.Name(), req.ID, err)
+			}
+		})
+	}
+	cal.Run()
+	if simErr != nil {
+		return nil, simErr
+	}
+	for _, m := range members {
+		if err := m.in.Err(); err != nil {
+			return nil, fmt.Errorf("disagg: instance %s: %w", m.in.Name(), err)
+		}
+	}
+
+	st := assembleStats(cfg, members, len(reqs), rejected, unroutable, transferDrops)
+	st.Transfers = transfers
+	st.KVBytesMoved = bytesMoved
+	if transfers > 0 {
+		st.MeanTransfer = wireTotal / sim.Time(transfers)
+		st.MeanTransferStall = stallTotal / sim.Time(transfers)
+		st.MaxTransfer = wireMax
+	}
+	if err := st.reconcile(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

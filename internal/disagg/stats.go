@@ -1,0 +1,178 @@
+package disagg
+
+import (
+	"fmt"
+
+	"github.com/skipsim/skip/internal/cluster"
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// InstanceStats pairs one instance's identity, role, and placement
+// counts with its full serving statistics.
+type InstanceStats struct {
+	Name     string
+	Platform string
+	Role     string
+	// Routed counts fresh arrivals the front door placed here; Resumed
+	// counts handoffs absorbed from the prefill pool.
+	Routed  int
+	Resumed int
+	Serve   serve.Stats
+}
+
+// Stats summarizes a disaggregated fleet simulation. Latency
+// percentiles pool the per-request samples across instances: TTFTs come
+// from wherever prefill ran — every request whose first token was
+// served contributes one, including the rare request later dropped for
+// want of a decode instance (its user did receive that token) — while
+// TPOT/E2E come from wherever the request finished, so the
+// distributions are the fleet's true end-to-end view (transfer stalls
+// included in TPOT and E2E). SLO attainment is measured over the same
+// TTFT samples.
+type Stats struct {
+	// PrefillPolicy / DecodePolicy name the placement policies.
+	PrefillPolicy string
+	DecodePolicy  string
+
+	// The front-door ledger: every offered request is exactly one of
+	// rejected (admission control), unroutable (fits no prefill-capable
+	// instance), or routed.
+	Offered    int
+	Rejected   int
+	Unroutable int
+	Routed     int
+
+	// The handoff ledger: every routed request settles as a completion
+	// (single-token prefills and RoleBoth instances complete locally),
+	// an abandonment, or a handoff; every handoff becomes exactly one
+	// transfer + resumption or one reported drop (no decode instance
+	// could ever hold it).
+	HandedOff     int
+	TransferDrops int
+	Resumed       int
+
+	// Completed / Abandoned / Preemptions sum over instances.
+	Completed   int
+	Abandoned   int
+	Preemptions int
+
+	// Transfer economics over the simulation.
+	Transfers    int
+	KVBytesMoved float64
+	// MeanTransfer / MaxTransfer are wire times; MeanTransferStall adds
+	// per-link queueing — the delay a request actually experiences
+	// between finishing prefill and landing on its decode instance.
+	MeanTransfer      sim.Time
+	MaxTransfer       sim.Time
+	MeanTransferStall sim.Time
+
+	// TTFT / TPOT / E2E over the pooled per-request samples (see the
+	// type comment for which requests contribute to each).
+	MeanTTFT, P50TTFT, P95TTFT, P99TTFT, MaxTTFT sim.Time
+	MeanTPOT, P50TPOT, P95TPOT                   sim.Time
+	MeanE2E, P50E2E, P95E2E, MaxE2E              sim.Time
+
+	// Horizon is the last completion across the fleet; rates are fleet
+	// totals over it.
+	Horizon       sim.Time
+	Throughput    float64
+	TokensPerSec  float64
+	Goodput       float64
+	SLOAttainment float64
+
+	// LoadImbalance is the coefficient of variation of per-instance
+	// placed work (routed + resumed).
+	LoadImbalance float64
+
+	Instances []InstanceStats
+}
+
+// assembleStats pools per-instance results into fleet-level statistics.
+func assembleStats(cfg Config, members []member, offered, rejected, unroutable, transferDrops int) *Stats {
+	st := &Stats{
+		PrefillPolicy: cfg.PrefillPolicy.String(),
+		DecodePolicy:  cfg.DecodePolicy.String(),
+		Offered:       offered,
+		Rejected:      rejected,
+		Unroutable:    unroutable,
+		TransferDrops: transferDrops,
+	}
+	var ttfts, tpots, e2es []sim.Time
+	var tokensOut int64
+	for _, m := range members {
+		is := m.in.Stats()
+		st.Routed += m.in.Routed()
+		st.HandedOff += is.HandedOff
+		st.Resumed += is.Resumed
+		st.Completed += is.Completed
+		st.Abandoned += is.Abandoned
+		st.Preemptions += is.Preemptions
+		if is.Horizon > st.Horizon {
+			st.Horizon = is.Horizon
+		}
+		tokensOut += is.TokensOut
+		t, p, e := m.in.Latencies()
+		ttfts = append(ttfts, t...)
+		tpots = append(tpots, p...)
+		e2es = append(e2es, e...)
+		st.Instances = append(st.Instances, InstanceStats{
+			Name:     m.in.Name(),
+			Platform: m.in.Platform().Name,
+			Role:     m.role.String(),
+			Routed:   m.in.Routed(),
+			Resumed:  is.Resumed,
+			Serve:    *is,
+		})
+	}
+
+	st.MeanTTFT, st.MaxTTFT = cluster.MeanMax(ttfts)
+	st.P50TTFT = serve.Percentile(ttfts, 50)
+	st.P95TTFT = serve.Percentile(ttfts, 95)
+	st.P99TTFT = serve.Percentile(ttfts, 99)
+	st.MeanTPOT, _ = cluster.MeanMax(tpots)
+	st.P50TPOT = serve.Percentile(tpots, 50)
+	st.P95TPOT = serve.Percentile(tpots, 95)
+	st.MeanE2E, st.MaxE2E = cluster.MeanMax(e2es)
+	st.P50E2E = serve.Percentile(e2es, 50)
+	st.P95E2E = serve.Percentile(e2es, 95)
+
+	if st.Horizon > 0 {
+		sec := st.Horizon.Seconds()
+		st.Throughput = float64(st.Completed) / sec
+		st.TokensPerSec = float64(tokensOut) / sec
+	}
+	st.SLOAttainment, st.Goodput = serve.SLOGoodput(ttfts, cfg.TTFTSLO, st.Horizon, st.Throughput)
+	counts := make([]int, len(st.Instances))
+	for i, is := range st.Instances {
+		counts[i] = is.Routed + is.Resumed
+	}
+	st.LoadImbalance = cluster.ImbalanceCV(counts)
+	return st
+}
+
+// reconcile verifies the cross-pool request ledger: a violation means
+// the fleet lost or duplicated a request across routing, handoff,
+// transfer, resumption, preemption, or abandonment.
+func (st *Stats) reconcile() error {
+	if st.Offered != st.Rejected+st.Unroutable+st.Routed {
+		return fmt.Errorf("disagg: front-door ledger broken: offered %d != rejected %d + unroutable %d + routed %d",
+			st.Offered, st.Rejected, st.Unroutable, st.Routed)
+	}
+	if st.HandedOff != st.TransferDrops+st.Resumed {
+		return fmt.Errorf("disagg: handoff ledger broken: %d handed off != %d dropped + %d resumed",
+			st.HandedOff, st.TransferDrops, st.Resumed)
+	}
+	for i := range st.Instances {
+		is := &st.Instances[i]
+		// Everything an instance was given (routed arrivals + resumed
+		// handoffs) must settle there (completed + abandoned + handed
+		// off).
+		settled := is.Serve.Completed + is.Serve.Abandoned + is.Serve.HandedOff
+		if settled != is.Routed+is.Resumed {
+			return fmt.Errorf("disagg: %s settled %d of %d placed requests (routed %d + resumed %d)",
+				is.Name, settled, is.Routed+is.Resumed, is.Routed, is.Resumed)
+		}
+	}
+	return nil
+}

@@ -113,8 +113,10 @@ type Request struct {
 // Result is the outcome of a run.
 type Result struct {
 	Request Request
-	// Trace is the profiler trace of the steady-state iteration.
-	Trace *trace.Trace
+	// Trace is the profiler trace of the steady-state iteration. It is
+	// excluded from JSON reports — Chrome-trace files have their own
+	// serialization (Trace.SaveFile, the CLI's -o flag).
+	Trace *trace.Trace `json:"-"`
 	// TTFT is the prefill latency: first operator start to last kernel
 	// end (matches SKIP's IL, Eq. 4).
 	TTFT sim.Time

@@ -30,8 +30,9 @@ type GenerateResult struct {
 	PrefillKernels, DecodeKernelsPerStep int
 	// PrefillGPUBusy / DecodeGPUBusy split device time by phase.
 	PrefillGPUBusy, DecodeGPUBusy sim.Time
-	// Trace covers the full generation (prefill + all decode steps).
-	Trace *trace.Trace
+	// Trace covers the full generation (prefill + all decode steps). Like
+	// Result.Trace, it is excluded from JSON reports.
+	Trace *trace.Trace `json:"-"`
 }
 
 // RunGenerate simulates prefill plus newTokens decode iterations in one

@@ -33,6 +33,11 @@ func kvBytesPerToken(m *models.Config) float64 {
 	return float64(2 * m.Layers * m.KVDim() * 2)
 }
 
+// KVBytesPerToken is the per-cached-token KV-cache footprint of a model
+// — what one token position costs in HBM, and therefore what one token
+// position costs to ship between instances in a disaggregated handoff.
+func KVBytesPerToken(m *models.Config) float64 { return kvBytesPerToken(m) }
+
 // contRequest tracks one request through the continuous scheduler.
 type contRequest struct {
 	req        Request
@@ -48,6 +53,15 @@ type contRequest struct {
 	firstTok  sim.Time // time of first output token (TTFT anchor)
 	hasFirst  bool
 	abandonEv *sim.Event
+	// handoff, when set, marks a prefill-only request: the moment its
+	// prefill completes (first token emitted), the request leaves this
+	// instance — KV released — and the callback receives the handoff
+	// state to resume decoding elsewhere (see Instance.AcceptPrefill).
+	handoff func(now sim.Time, h Handoff)
+	// resumed marks a request continuing mid-stream from another
+	// instance's prefill: TTFT is already anchored and the request never
+	// abandons (its user is already streaming tokens).
+	resumed bool
 }
 
 func (r *contRequest) kvLen() int64 { return r.promptLen + r.generated }
@@ -70,6 +84,8 @@ type contSim struct {
 	ttfts, tpots, e2es []sim.Time
 	completed          int
 	abandoned          int
+	handedOff          int
+	resumed            int
 	preemptions        int
 	iterations         int
 	totalBatch         int
@@ -198,7 +214,7 @@ func (s *contSim) arrive(now sim.Time, cr *contRequest) {
 	}
 	s.waiting = append(s.waiting, cr)
 	s.emit(now, EventArrival, cr)
-	if s.cfg.AbandonAfter > 0 {
+	if s.cfg.AbandonAfter > 0 && !cr.resumed {
 		cr.abandonEv = s.cal.Schedule(now+s.cfg.AbandonAfter, func(at sim.Time) { s.abandon(at, cr) })
 	}
 	if s.busy {
@@ -242,7 +258,10 @@ func (s *contSim) abandon(now sim.Time, cr *contRequest) {
 func (s *contSim) admit(now sim.Time) {
 	for len(s.waiting) > 0 && len(s.running) < s.cfg.MaxBatch {
 		head := s.waiting[0]
-		need := float64(head.promptLen) * s.bytesPerTok
+		// A resumed request's transferred cache (prompt + tokens already
+		// generated elsewhere) is reserved whole; fresh requests have
+		// generated == 0 and reserve the prompt alone.
+		need := float64(head.promptLen+head.generated) * s.bytesPerTok
 		if s.kvUsed+need > s.capacity {
 			return
 		}
@@ -421,6 +440,30 @@ func (s *contSim) emitToken(r *contRequest, end sim.Time) {
 		if end > s.lastCompletion {
 			s.lastCompletion = end
 		}
+		return
+	}
+	if r.handoff != nil {
+		// Prefill complete on a prefill-pool instance: the request stops
+		// here. Its KV leaves this instance's budget — the disaggregation
+		// layer now owns the cache and prices its transfer to a decode
+		// instance.
+		s.handedOff++
+		s.kvUsed -= r.kvBytes
+		r.kvBytes = 0
+		s.removeRunning(r)
+		if end > s.lastCompletion {
+			s.lastCompletion = end
+		}
+		fn := r.handoff
+		r.handoff = nil
+		fn(end, Handoff{
+			Req:        r.req,
+			PromptLen:  r.promptLen,
+			OutputLen:  r.outputLen,
+			Generated:  r.generated,
+			FirstToken: r.firstTok,
+			KVLen:      r.kvLen(),
+		})
 	}
 }
 
@@ -468,9 +511,11 @@ func (s *contSim) sample(now sim.Time) {
 // stats assembles the final Stats from the accumulators.
 func (s *contSim) stats() *Stats {
 	st := &Stats{
-		Requests:        s.completed + s.abandoned,
+		Requests:        s.completed + s.abandoned + s.handedOff,
 		Completed:       s.completed,
 		Abandoned:       s.abandoned,
+		HandedOff:       s.handedOff,
+		Resumed:         s.resumed,
 		Preemptions:     s.preemptions,
 		Horizon:         s.lastCompletion,
 		Batches:         s.iterations,

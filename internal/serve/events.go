@@ -33,6 +33,14 @@ const (
 	// EventFirstToken: the request's first output token was emitted (the
 	// TTFT instant).
 	EventFirstToken
+	// EventKVTransferStart: a completed prefill's KV cache started moving
+	// toward its decode instance (disaggregated simulations only; Link
+	// names the source→destination pair).
+	EventKVTransferStart
+	// EventKVTransferDone: the KV cache landed on the decode instance,
+	// which resumes the request mid-stream (disaggregated simulations
+	// only).
+	EventKVTransferDone
 	// EventCompleted: the request finished generating.
 	EventCompleted
 	// EventProgress: a periodic completion-count tick (Completed of
@@ -59,6 +67,10 @@ func (t EventType) String() string {
 		return "abandoned"
 	case EventFirstToken:
 		return "first-token"
+	case EventKVTransferStart:
+		return "kv-transfer-start"
+	case EventKVTransferDone:
+		return "kv-transfer-done"
 	case EventCompleted:
 		return "completed"
 	case EventProgress:
@@ -80,8 +92,13 @@ type Event struct {
 	// SessionID is the request's session, when it has one.
 	SessionID int64
 	// Instance names the serving instance involved ("" for
-	// single-instance simulations and front-door events).
+	// single-instance simulations and front-door events). KV-transfer
+	// events name the source instance on start and the destination on
+	// done.
 	Instance string
+	// Link names the source→destination instance pair of a KV transfer
+	// ("" for every other event type).
+	Link string
 	// Completed / Total carry the EventProgress payload.
 	Completed int
 	Total     int
@@ -98,6 +115,9 @@ func (e Event) String() string {
 	}
 	if e.Instance != "" {
 		s += " @" + e.Instance
+	}
+	if e.Link != "" {
+		s += " link=" + e.Link
 	}
 	return s
 }

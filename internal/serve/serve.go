@@ -184,6 +184,13 @@ type Stats struct {
 	Completed int
 	// Abandoned counts requests dropped after waiting AbandonAfter.
 	Abandoned int
+	// HandedOff counts prefill completions shipped to a decode instance
+	// (disaggregated pools only; such requests settle here without
+	// counting as Completed).
+	HandedOff int
+	// Resumed counts requests this instance picked up mid-stream from
+	// another instance's prefill (disaggregated pools only).
+	Resumed int
 	// Preemptions counts KV-pressure evictions of running requests.
 	Preemptions int
 	Horizon     sim.Time // last completion time

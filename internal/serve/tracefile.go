@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -25,6 +24,8 @@ import (
 // Column order is free; output_tokens and session_id are optional
 // (missing output lengths fall back to the config's default, zero
 // session means "no session"). Lines starting with '#' are comments.
+// Rows must be sorted by arrival_ms: an out-of-order log is rejected
+// rather than silently reordered.
 
 // traceColumns maps accepted header names to canonical columns.
 var traceColumns = map[string]string{
@@ -39,8 +40,12 @@ var traceColumns = map[string]string{
 }
 
 // ParseTrace reads a request trace from r (see the package comment on
-// the CSV schema) and returns the stream sorted by arrival, with IDs
-// assigned in row order.
+// the CSV schema) and returns the stream with IDs assigned in row
+// order. Rows must be sorted by arrival — a log whose timestamps go
+// backwards is corrupt (or mis-exported), and silently reordering it
+// would hide that while changing which request each row's neighbors
+// race against — so a non-monotonic arrival_ms is rejected with its
+// line number, as are negative token counts.
 func ParseTrace(r io.Reader) ([]Request, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
@@ -68,6 +73,7 @@ func ParseTrace(r io.Reader) ([]Request, error) {
 	}
 
 	var reqs []Request
+	prevMs := -1.0
 	for row := 1; ; row++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -80,6 +86,10 @@ func ParseTrace(r io.Reader) ([]Request, error) {
 		if err != nil || arrivalMs < 0 {
 			return nil, fmt.Errorf("serve: trace: row %d: arrival_ms must be a non-negative number, got %q", row, rec[cols["arrival"]])
 		}
+		if arrivalMs < prevMs {
+			return nil, fmt.Errorf("serve: trace: row %d: arrival_ms %g goes back in time (previous row arrived at %g); traces must be sorted by arrival", row, arrivalMs, prevMs)
+		}
+		prevMs = arrivalMs
 		prompt, err := strconv.ParseInt(strings.TrimSpace(rec[cols["prompt"]]), 10, 64)
 		if err != nil || prompt <= 0 {
 			return nil, fmt.Errorf("serve: trace: row %d: prompt_tokens must be a positive integer, got %q", row, rec[cols["prompt"]])
@@ -108,7 +118,6 @@ func ParseTrace(r io.Reader) ([]Request, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("serve: trace: no request rows")
 	}
-	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
 	return reqs, nil
 }
 

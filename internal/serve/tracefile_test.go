@@ -11,8 +11,8 @@ func TestParseTrace(t *testing.T) {
 	reqs, err := ParseTrace(strings.NewReader(
 		"# a comment\n" +
 			"arrival_ms,prompt_tokens,output_tokens,session_id\n" +
-			"12.5,256,32,1\n" +
 			"0,128,0,0\n" +
+			"12.5,256,32,1\n" +
 			"3000,2048,64,2\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -20,8 +20,7 @@ func TestParseTrace(t *testing.T) {
 	if len(reqs) != 3 {
 		t.Fatalf("parsed %d requests, want 3", len(reqs))
 	}
-	// Sorted by arrival; IDs keep row order.
-	if reqs[0].ID != 1 || reqs[0].Arrival != 0 || reqs[0].PromptLen != 128 {
+	if reqs[0].ID != 0 || reqs[0].Arrival != 0 || reqs[0].PromptLen != 128 {
 		t.Errorf("first request = %+v", reqs[0])
 	}
 	if reqs[1].Arrival != sim.Time(12.5*1e6) || reqs[1].OutputLen != 32 || reqs[1].SessionID != 1 {
@@ -29,6 +28,25 @@ func TestParseTrace(t *testing.T) {
 	}
 	if reqs[2].Arrival != 3*sim.Second || reqs[2].SessionID != 2 {
 		t.Errorf("third request = %+v", reqs[2])
+	}
+}
+
+// TestParseTraceRejectsOutOfOrder: timestamps that go backwards mean a
+// corrupt or mis-exported log; the parser names the offending line
+// instead of silently reordering the calendar.
+func TestParseTraceRejectsOutOfOrder(t *testing.T) {
+	_, err := ParseTrace(strings.NewReader(
+		"arrival_ms,prompt_tokens\n5,128\n12.5,64\n3,256\n"))
+	if err == nil {
+		t.Fatal("out-of-order trace should fail")
+	}
+	if !strings.Contains(err.Error(), "row 3") || !strings.Contains(err.Error(), "back in time") {
+		t.Errorf("error should name row 3 and the cause, got: %v", err)
+	}
+	// Equal timestamps are fine: logs often batch at one instant.
+	if _, err := ParseTrace(strings.NewReader(
+		"arrival_ms,prompt_tokens\n5,128\n5,64\n")); err != nil {
+		t.Errorf("equal arrivals should parse: %v", err)
 	}
 }
 

@@ -1,0 +1,197 @@
+package spec
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/serve"
+)
+
+// testDisaggSpec is a small disaggregated fleet: coupled prefill pool,
+// discrete decode pool.
+func testDisaggSpec() *Spec {
+	s := testServeSpec()
+	s.Platform = ""
+	s.Fleet = &FleetSpec{
+		Groups: []FleetGroupSpec{
+			{Platform: hw.GH200Name, Count: 1, Role: "prefill"},
+			{Platform: hw.IntelH100Name, Count: 1, Role: "decode"},
+		},
+		Disaggregation: &DisaggregationSpec{},
+	}
+	return s
+}
+
+func TestDisaggSpecValidation(t *testing.T) {
+	good := testDisaggSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid disagg spec rejected: %v", err)
+	}
+	if good.Kind() != KindDisagg {
+		t.Fatalf("kind = %v, want disagg", good.Kind())
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"role without disaggregation", func(s *Spec) { s.Fleet.Disaggregation = nil }, "fleet.groups[0].role"},
+		{"unknown role", func(s *Spec) { s.Fleet.Groups[0].Role = "prefil" }, "unknown role"},
+		{"no decode pool", func(s *Spec) { s.Fleet.Groups[1].Role = "prefill" }, "no decode-capable"},
+		{"no prefill pool", func(s *Spec) { s.Fleet.Groups[0].Role = "decode" }, "no prefill-capable"},
+		{"fleet router conflicts", func(s *Spec) { s.Fleet.Router = "least-queue" }, "per pool"},
+		{"bad prefill router", func(s *Spec) { s.Fleet.Disaggregation.PrefillRouter = "fastest" }, "prefill_router"},
+		{"bad decode router", func(s *Spec) { s.Fleet.Disaggregation.DecodeRouter = "fastest" }, "decode_router"},
+		{"negative host hop", func(s *Spec) { s.Fleet.Disaggregation.HostHopMultiplier = -1 }, "host_hop_multiplier"},
+		{"negative bandwidth", func(s *Spec) { s.Fleet.Disaggregation.BandwidthGBps = -4 }, "bandwidth_gbps"},
+		{"duplicate platform same role", func(s *Spec) {
+			s.Fleet.Groups = append(s.Fleet.Groups, FleetGroupSpec{Platform: hw.GH200Name, Count: 1, Role: "prefill"})
+		}, "appears twice"},
+	}
+	for _, c := range cases {
+		s := testDisaggSpec()
+		c.mutate(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: spec should fail validation", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q should mention %q", c.name, err, c.wantErr)
+		}
+	}
+
+	// The same platform may serve both pools — one group per role.
+	split := testDisaggSpec()
+	split.Fleet.Groups = []FleetGroupSpec{
+		{Platform: hw.GH200Name, Count: 1, Role: "prefill"},
+		{Platform: hw.GH200Name, Count: 1, Role: "decode"},
+	}
+	if err := split.Validate(); err != nil {
+		t.Errorf("per-role platform split rejected: %v", err)
+	}
+}
+
+func TestSimulateDisaggDispatch(t *testing.T) {
+	rep, err := Simulate(testDisaggSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindDisagg || rep.Disagg == nil || rep.Cluster != nil || rep.Serve != nil {
+		t.Fatalf("disagg spec: kind %v, sections disagg=%v cluster=%v serve=%v",
+			rep.Kind, rep.Disagg != nil, rep.Cluster != nil, rep.Serve != nil)
+	}
+	st := rep.Disagg
+	if st.Offered != 10 || st.Completed != 10 {
+		t.Errorf("ledger: offered %d completed %d", st.Offered, st.Completed)
+	}
+	if st.HandedOff == 0 || st.HandedOff != st.Resumed+st.TransferDrops {
+		t.Errorf("handoffs %d, resumed %d, drops %d", st.HandedOff, st.Resumed, st.TransferDrops)
+	}
+	if st.PrefillPolicy != "least-queue" || st.DecodePolicy != "least-kv" {
+		t.Errorf("default pool policies = %s / %s", st.PrefillPolicy, st.DecodePolicy)
+	}
+}
+
+// TestDisaggSpecRoundTrip: Save∘Load is the identity for the new
+// sections.
+func TestDisaggSpecRoundTrip(t *testing.T) {
+	s := testDisaggSpec()
+	s.Fleet.Disaggregation.HostHopMultiplier = 1.5
+	s.Fleet.Disaggregation.BandwidthGBps = 128
+	path := filepath.Join(t.TempDir(), "disagg.json")
+	if err := Save(s, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.baseDir, back.baseDir = "", ""
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed the spec:\n  saved  %+v\n  loaded %+v", s, back)
+	}
+}
+
+// TestObserverEventOrderGolden pins the deterministic per-request
+// lifecycle sequences on the observer stream — the serve path's
+// arrival → admitted → first-token → completed and the disaggregated
+// path extended with routing and the kv-transfer pair — and checks the
+// full stream reproduces event-for-event across runs.
+func TestObserverEventOrderGolden(t *testing.T) {
+	collect := func(s *Spec) []serve.Event {
+		var events []serve.Event
+		if _, err := Simulate(s, WithObserver(func(e serve.Event) { events = append(events, e) })); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	perRequest := func(events []serve.Event) map[int][]string {
+		seqs := make(map[int][]string)
+		for _, e := range events {
+			if e.Type == serve.EventProgress {
+				continue
+			}
+			seqs[e.RequestID] = append(seqs[e.RequestID], e.Type.String())
+		}
+		return seqs
+	}
+
+	// One serving instance: no routing, no transfers.
+	serveEvents := collect(testServeSpec())
+	want := []string{"arrival", "admitted", "first-token", "completed"}
+	for id, seq := range perRequest(serveEvents) {
+		if !reflect.DeepEqual(seq, want) {
+			t.Errorf("serve request %d lifecycle = %v, want %v", id, seq, want)
+		}
+	}
+
+	// A disaggregated fleet: the front door routes, prefill emits the
+	// first token, the KV transfer bridges to the decode instance where
+	// the request arrives again, re-admits, and completes.
+	disaggEvents := collect(testDisaggSpec())
+	wantDisagg := []string{"routed", "arrival", "admitted", "first-token",
+		"kv-transfer-start", "kv-transfer-done", "arrival", "admitted", "completed"}
+	for id, seq := range perRequest(disaggEvents) {
+		if !reflect.DeepEqual(seq, wantDisagg) {
+			t.Errorf("disagg request %d lifecycle = %v, want %v", id, seq, wantDisagg)
+		}
+	}
+
+	// The whole stream — order, timestamps, instances, links — must
+	// reproduce exactly.
+	if again := collect(testDisaggSpec()); !reflect.DeepEqual(disaggEvents, again) {
+		t.Error("rerun produced a different event stream")
+	}
+}
+
+// TestReportJSON: the shared marshaller renders a stable, stringly-
+// kinded document.
+func TestReportJSON(t *testing.T) {
+	rep, err := Simulate(testDisaggSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReportJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(a, []byte(`"kind": "disagg"`)) {
+		t.Errorf("report JSON should name its kind; got prefix %.120s", a)
+	}
+	if !bytes.Contains(a, []byte(`"disagg": {`)) || bytes.Contains(a, []byte(`"cluster"`)) {
+		t.Error("report JSON should carry exactly the populated section")
+	}
+	b, err := ReportJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("marshalling is not stable")
+	}
+}

@@ -1,7 +1,10 @@
 package spec
 
 import (
+	"encoding/json"
+
 	"github.com/skipsim/skip/internal/cluster"
+	"github.com/skipsim/skip/internal/disagg"
 	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/hw"
 	"github.com/skipsim/skip/internal/models"
@@ -13,22 +16,36 @@ import (
 // layers, discriminated by Kind. Exactly the matching section is
 // populated.
 type Report struct {
-	Kind Kind
+	Kind Kind `json:"kind"`
 
 	// KindRun: the engine result — Run for prefill-only specs,
 	// Generate when run.new_tokens is positive (then Run is nil).
-	Run      *engine.Result
-	Generate *engine.GenerateResult
+	Run      *engine.Result         `json:"run,omitempty"`
+	Generate *engine.GenerateResult `json:"generate,omitempty"`
 
 	// KindServe: the serving statistics.
-	Serve *serve.Stats
+	Serve *serve.Stats `json:"serve,omitempty"`
 
 	// KindCluster: the fleet statistics.
-	Cluster *cluster.Stats
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 
-	// Offered is the workload's request count (serve and cluster
-	// kinds).
-	Offered int
+	// KindDisagg: the disaggregated-fleet statistics.
+	Disagg *disagg.Stats `json:"disagg,omitempty"`
+
+	// Offered is the workload's request count (serve, cluster, and
+	// disagg kinds).
+	Offered int `json:"offered,omitempty"`
+}
+
+// ReportJSON renders a Report as indented JSON with a stable field
+// order (struct declaration order; times are virtual nanoseconds). The
+// CLI's -json flag and library consumers share this one marshaller.
+func ReportJSON(r *Report) ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
 }
 
 // options collects Simulate's functional options.
@@ -73,6 +90,8 @@ func Simulate(s *Spec, opts ...Option) (*Report, error) {
 		return s.simulateRun()
 	case KindServe:
 		return s.simulateServe(&o)
+	case KindDisagg:
+		return s.simulateDisagg(&o)
 	default:
 		return s.simulateCluster(&o)
 	}
@@ -265,6 +284,59 @@ func (s *Spec) simulateCluster(o *options) (*Report, error) {
 		return nil, err
 	}
 	return &Report{Kind: KindCluster, Cluster: st, Offered: len(reqs)}, nil
+}
+
+func (s *Spec) simulateDisagg(o *options) (*Report, error) {
+	reqs, err := s.requests()
+	if err != nil {
+		return nil, err
+	}
+	base, err := s.serveConfig(nil)
+	if err != nil {
+		return nil, err
+	}
+	f := s.Fleet
+	d := f.Disaggregation
+	groups := make([]disagg.Group, len(f.Groups))
+	for i, g := range f.Groups {
+		p, err := hw.ByName(g.Platform)
+		if err != nil {
+			return nil, err
+		}
+		role, err := disagg.ParseRole(g.Role)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = disagg.Group{Platform: p, Count: g.Count, Role: role}
+	}
+	prefillRouter, err := cluster.ParsePolicy(d.prefillRouterName())
+	if err != nil {
+		return nil, err
+	}
+	decodeRouter, err := cluster.ParsePolicy(d.decodeRouterName())
+	if err != nil {
+		return nil, err
+	}
+	dcfg := disagg.Config{
+		Groups:        groups,
+		Base:          base,
+		PrefillPolicy: prefillRouter,
+		DecodePolicy:  decodeRouter,
+		ShortPrompt:   f.ShortPrompt,
+		Transfer: disagg.TransferModel{
+			HostHopMultiplier: d.HostHopMultiplier,
+			BandwidthGBps:     d.BandwidthGBps,
+		},
+		TTFTSLO:         base.TTFTSLO,
+		AdmitRatePerSec: f.AdmitRatePerSec,
+		AdmitBurst:      f.AdmitBurst,
+		Observer:        progressObserver(o.observer, len(reqs), o.progressEvery),
+	}
+	st, err := disagg.Simulate(dcfg, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Kind: KindDisagg, Disagg: st, Offered: len(reqs)}, nil
 }
 
 // progressObserver forwards events to obs and interleaves an

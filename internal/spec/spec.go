@@ -162,6 +162,11 @@ type FleetGroupSpec struct {
 	Platform string `json:"platform"`
 	// Count is the number of instances. Required, positive.
 	Count int `json:"count"`
+	// Role assigns the group to a disaggregation pool: "prefill",
+	// "decode", or "both" (the default). Only valid when the fleet has a
+	// disaggregation section; the same platform may then appear once per
+	// role.
+	Role string `json:"role,omitempty"`
 }
 
 // FleetSpec configures a multi-instance fleet behind a front-end
@@ -181,6 +186,34 @@ type FleetSpec struct {
 	// AdmitBurst is the bucket depth in requests (default: one second's
 	// refill).
 	AdmitBurst float64 `json:"admit_burst,omitempty"`
+	// Disaggregation enables prefill/decode disaggregated serving:
+	// groups take roles, completed prefills hand their KV cache to a
+	// decode-pool instance over the interconnect-priced transfer model,
+	// and the report carries the cross-pool ledger and transfer
+	// economics. Without it, Router places requests on a monolithic
+	// fleet and group roles are rejected.
+	Disaggregation *DisaggregationSpec `json:"disaggregation,omitempty"`
+}
+
+// DisaggregationSpec configures prefill/decode disaggregation for a
+// fleet (see internal/disagg).
+type DisaggregationSpec struct {
+	// PrefillRouter places fresh arrivals on the prefill pool:
+	// "least-queue" (default), "round-robin", "least-kv",
+	// "session-affinity", "platform-aware".
+	PrefillRouter string `json:"prefill_router,omitempty"`
+	// DecodeRouter places completed prefills on the decode pool
+	// (default "least-kv" — decode placement is a KV-capacity
+	// decision).
+	DecodeRouter string `json:"decode_router,omitempty"`
+	// HostHopMultiplier scales KV-transfer wire time once per
+	// loosely-coupled endpoint (default 2: store-and-forward through
+	// host DRAM; 1 disables the penalty).
+	HostHopMultiplier float64 `json:"host_hop_multiplier,omitempty"`
+	// BandwidthGBps, when positive, overrides both endpoints'
+	// interconnect bandwidth for transfers — the what-if knob for
+	// sweeping the disaggregation crossover.
+	BandwidthGBps float64 `json:"bandwidth_gbps,omitempty"`
 }
 
 // Kind is the simulation layer a Spec dispatches to.
@@ -194,6 +227,9 @@ const (
 	KindServe
 	// KindCluster is a routed multi-instance fleet.
 	KindCluster
+	// KindDisagg is a prefill/decode disaggregated fleet with
+	// interconnect-priced KV handoff.
+	KindDisagg
 )
 
 func (k Kind) String() string {
@@ -204,16 +240,27 @@ func (k Kind) String() string {
 		return "serve"
 	case KindCluster:
 		return "cluster"
+	case KindDisagg:
+		return "disagg"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
+// MarshalJSON renders the kind as its name, so machine-consumed Reports
+// read "cluster" rather than an enum ordinal.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
 // Kind reports the layer the spec dispatches to, from section presence:
-// a fleet section means cluster, a serve section means serve, otherwise
-// run. Validate enforces that the sections present are coherent.
+// a fleet section means cluster (disagg when it has a disaggregation
+// section), a serve section means serve, otherwise run. Validate
+// enforces that the sections present are coherent.
 func (s *Spec) Kind() Kind {
 	switch {
+	case s.Fleet != nil && s.Fleet.Disaggregation != nil:
+		return KindDisagg
 	case s.Fleet != nil:
 		return KindCluster
 	case s.Serve != nil:

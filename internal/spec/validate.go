@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/skipsim/skip/internal/cluster"
+	"github.com/skipsim/skip/internal/disagg"
 	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/hw"
 	"github.com/skipsim/skip/internal/models"
@@ -270,6 +271,7 @@ func (f *FleetSpec) validate() error {
 		return errAt("fleet.groups", "needs at least one group")
 	}
 	seen := make(map[string]bool)
+	var prefillable, decodable int
 	for i, g := range f.Groups {
 		path := fmt.Sprintf("fleet.groups[%d]", i)
 		if g.Platform == "" {
@@ -282,10 +284,31 @@ func (f *FleetSpec) validate() error {
 		if g.Count <= 0 {
 			return errAt(path+".count", "must be positive, got %d", g.Count)
 		}
-		if seen[p.Name] {
+		role, err := disagg.ParseRole(g.Role)
+		if err != nil {
+			return errAt(path+".role", "%v", err)
+		}
+		if g.Role != "" && f.Disaggregation == nil {
+			return errAt(path+".role", "group roles need a fleet.disaggregation section")
+		}
+		if role != disagg.RolePrefill {
+			decodable += g.Count
+		}
+		if role != disagg.RoleDecode {
+			prefillable += g.Count
+		}
+		// A disaggregated fleet may field the same platform once per
+		// role; a monolithic fleet may not repeat a platform at all.
+		key := p.Name
+		if f.Disaggregation != nil {
+			key += "/" + role.String()
+			if seen[key] {
+				return errAt(path+".platform", "%q appears twice in role %q; merge the counts into one group", p.Name, role)
+			}
+		} else if seen[key] {
 			return errAt(path+".platform", "%q appears twice; merge the counts into one group", p.Name)
 		}
-		seen[p.Name] = true
+		seen[key] = true
 	}
 	if _, err := cluster.ParsePolicy(f.routerName()); err != nil {
 		return errAt("fleet.router", "%v", err)
@@ -298,5 +321,44 @@ func (f *FleetSpec) validate() error {
 	case f.AdmitBurst < 0:
 		return errAt("fleet.admit_burst", "must be non-negative, got %g", f.AdmitBurst)
 	}
+	if d := f.Disaggregation; d != nil {
+		if f.Router != "" {
+			return errAt("fleet.router", "disaggregated fleets route per pool; use disaggregation.prefill_router / decode_router")
+		}
+		if prefillable == 0 {
+			return errAt("fleet.disaggregation", "fleet has no prefill-capable (role prefill or both) instances")
+		}
+		if decodable == 0 {
+			return errAt("fleet.disaggregation", "fleet has no decode-capable (role decode or both) instances")
+		}
+		if _, err := cluster.ParsePolicy(d.prefillRouterName()); err != nil {
+			return errAt("fleet.disaggregation.prefill_router", "%v", err)
+		}
+		if _, err := cluster.ParsePolicy(d.decodeRouterName()); err != nil {
+			return errAt("fleet.disaggregation.decode_router", "%v", err)
+		}
+		if d.HostHopMultiplier < 0 {
+			return errAt("fleet.disaggregation.host_hop_multiplier", "must be non-negative, got %g", d.HostHopMultiplier)
+		}
+		if d.BandwidthGBps < 0 {
+			return errAt("fleet.disaggregation.bandwidth_gbps", "must be non-negative, got %g", d.BandwidthGBps)
+		}
+	}
 	return nil
+}
+
+// prefillRouterName / decodeRouterName apply the per-pool router
+// defaults.
+func (d *DisaggregationSpec) prefillRouterName() string {
+	if d.PrefillRouter == "" {
+		return "least-queue"
+	}
+	return d.PrefillRouter
+}
+
+func (d *DisaggregationSpec) decodeRouterName() string {
+	if d.DecodeRouter == "" {
+		return "least-kv"
+	}
+	return d.DecodeRouter
 }

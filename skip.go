@@ -36,6 +36,7 @@ import (
 	"github.com/skipsim/skip/internal/cluster"
 	"github.com/skipsim/skip/internal/core"
 	"github.com/skipsim/skip/internal/cuda"
+	"github.com/skipsim/skip/internal/disagg"
 	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/fusion"
 	"github.com/skipsim/skip/internal/hw"
@@ -370,9 +371,60 @@ func ParseRouterPolicy(name string) (RouterPolicy, error) { return cluster.Parse
 // RouterPolicies lists the routing policies in presentation order.
 func RouterPolicies() []RouterPolicy { return cluster.Policies() }
 
-// ParseFleet parses a fleet spec like "GH200:4,Intel+H100:4" against
+// ParseFleet parses a fleet spec like "GH200:4,Intel+H100:4" (or, with
+// disaggregation roles, "GH200:2/prefill,Intel+H100:6/decode") against
 // the platform catalog.
 func ParseFleet(spec string) ([]FleetGroup, error) { return cluster.ParseFleet(spec) }
+
+// Disaggregation-layer aliases: prefill/decode disaggregated serving
+// with an interconnect-priced KV handoff between pools — the fleet-
+// scale operationalization of the paper's prefill-compute vs decode-
+// bandwidth asymmetry. See the disagg package documentation.
+type (
+	// DisaggConfig parameterizes a disaggregated fleet simulation.
+	DisaggConfig = disagg.Config
+	// DisaggGroup is one fleet slice with a role.
+	DisaggGroup = disagg.Group
+	// DisaggRole assigns a group to a pool (prefill, decode, both).
+	DisaggRole = disagg.Role
+	// DisaggStats summarizes a disaggregated fleet simulation: the
+	// cross-pool request ledger, transfer economics, and pooled
+	// latencies.
+	DisaggStats = disagg.Stats
+	// DisaggInstanceStats is one instance's share of a disaggregated
+	// fleet result.
+	DisaggInstanceStats = disagg.InstanceStats
+	// KVTransferModel prices KV-cache movement between instances from
+	// the platforms' interconnects.
+	KVTransferModel = disagg.TransferModel
+	// ServeHandoff is the state of a request leaving a prefill instance
+	// to resume mid-stream on a decode instance.
+	ServeHandoff = serve.Handoff
+)
+
+// Disaggregation roles.
+const (
+	RoleBoth    = disagg.RoleBoth
+	RolePrefill = disagg.RolePrefill
+	RoleDecode  = disagg.RoleDecode
+)
+
+// ParseDisaggRole maps a fleet-role name ("prefill", "decode", "both",
+// or empty) to a DisaggRole.
+func ParseDisaggRole(name string) (DisaggRole, error) { return disagg.ParseRole(name) }
+
+// SimulateDisagg runs a prefill/decode disaggregated fleet over a
+// request stream. Prefer a Spec with a fleet.disaggregation section and
+// Simulate; this imperative door exists for callers composing custom
+// platforms or per-pool configs in code.
+func SimulateDisagg(cfg DisaggConfig, requests []ServeRequest) (*DisaggStats, error) {
+	return disagg.Simulate(cfg, requests)
+}
+
+// KVBytesPerToken is a model's per-cached-token KV footprint — the
+// quantity the disaggregation transfer model multiplies by a handoff's
+// cache extent.
+func KVBytesPerToken(m *Model) float64 { return serve.KVBytesPerToken(m) }
 
 // FleetConfigs expands fleet groups over a base serving config, one
 // config per instance with the group's platform substituted. Groups
@@ -400,6 +452,9 @@ type (
 	FleetSpec = spec.FleetSpec
 	// FleetGroupSpec is one homogeneous slice of a FleetSpec.
 	FleetGroupSpec = spec.FleetGroupSpec
+	// DisaggregationSpec is the fleet.disaggregation section: pool
+	// routers and the KV-transfer knobs.
+	DisaggregationSpec = spec.DisaggregationSpec
 	// LengthDistSpec is a token-length distribution in JSON form.
 	LengthDistSpec = spec.LengthDistSpec
 	// Report is Simulate's unified outcome, discriminated by Kind.
@@ -421,20 +476,23 @@ const (
 	KindRun     = spec.KindRun
 	KindServe   = spec.KindServe
 	KindCluster = spec.KindCluster
+	KindDisagg  = spec.KindDisagg
 )
 
 // Simulation lifecycle event types.
 const (
-	EventArrival    = serve.EventArrival
-	EventRejected   = serve.EventRejected
-	EventUnroutable = serve.EventUnroutable
-	EventRouted     = serve.EventRouted
-	EventAdmitted   = serve.EventAdmitted
-	EventPreempted  = serve.EventPreempted
-	EventAbandoned  = serve.EventAbandoned
-	EventFirstToken = serve.EventFirstToken
-	EventCompleted  = serve.EventCompleted
-	EventProgress   = serve.EventProgress
+	EventArrival         = serve.EventArrival
+	EventRejected        = serve.EventRejected
+	EventUnroutable      = serve.EventUnroutable
+	EventRouted          = serve.EventRouted
+	EventAdmitted        = serve.EventAdmitted
+	EventPreempted       = serve.EventPreempted
+	EventAbandoned       = serve.EventAbandoned
+	EventFirstToken      = serve.EventFirstToken
+	EventKVTransferStart = serve.EventKVTransferStart
+	EventKVTransferDone  = serve.EventKVTransferDone
+	EventCompleted       = serve.EventCompleted
+	EventProgress        = serve.EventProgress
 )
 
 // Simulate validates the spec and runs it on the matching layer —
@@ -462,6 +520,11 @@ func ParseSpec(data []byte) (*Spec, error) { return spec.Parse(data) }
 // SaveSpec writes a spec as indented JSON; SaveSpec∘LoadSpec is the
 // identity.
 func SaveSpec(s *Spec, path string) error { return spec.Save(s, path) }
+
+// ReportJSON renders a Report as indented JSON with a stable field
+// order (kinds as strings, times as virtual nanoseconds, traces
+// excluded) — the machine-consumable form behind `skip sim -json`.
+func ReportJSON(r *Report) ([]byte, error) { return spec.ReportJSON(r) }
 
 // ParseMode maps a mode name ("eager", "flash", "compile-default", …)
 // to an execution Mode.
