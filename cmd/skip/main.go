@@ -94,7 +94,9 @@ commands:
   sim          run a declarative experiment spec (-spec file.json): one
                JSON document selecting engine, serve, cluster, or
                disaggregated simulation, with scenario, arrival-process,
-               or trace-replay workloads (see examples/specs/); -json
+               or trace-replay workloads (see examples/specs/); a sweep
+               section runs the document once per value of one field
+               (points execute in parallel) and prints the series; -json
                prints the unified report machine-consumably
   microbench   nullKernel launch-overhead microbenchmark (Table V)
 

@@ -32,7 +32,10 @@ func cmdSim(args []string) error {
 
 	var opts []skip.SimOption
 	if *events {
-		if sp.Kind() == skip.KindRun {
+		// Run documents emit no lifecycle events — swept or not (run is
+		// mutually exclusive with serve/fleet, so sp.Run identifies a
+		// run-kind sweep too).
+		if sp.Kind() == skip.KindRun || sp.Run != nil {
 			return fmt.Errorf("sim: -events needs a serve or fleet spec (run specs emit no lifecycle events)")
 		}
 		// With -json, stdout must stay one parseable document: the event
@@ -98,6 +101,97 @@ func printReport(sp *skip.Spec, rep *skip.Report) {
 		printClusterReport(sp, rep)
 	case skip.KindDisagg:
 		printDisaggReport(sp, rep)
+	case skip.KindSweep:
+		printSweepReport(sp, rep)
+	}
+}
+
+// printSweepReport renders a sweep series as one table, one row per
+// swept value, with columns chosen by the points' layer. Full
+// per-point reports are available via -json.
+func printSweepReport(sp *skip.Spec, rep *skip.Report) {
+	if len(rep.Sweep) == 0 {
+		return
+	}
+	inner := rep.Sweep[0].Report
+	hwLabel := platformLabel(sp)
+	if sp.Fleet != nil {
+		var groups []string
+		for _, g := range sp.Fleet.Groups {
+			desc := fmt.Sprintf("%s:%d", g.Platform, g.Count)
+			if g.Role != "" {
+				desc += "/" + g.Role
+			}
+			groups = append(groups, desc)
+		}
+		hwLabel = "fleet " + strings.Join(groups, ",")
+	}
+	wlLabel := workloadLabel(sp.Workload)
+	// When the swept field is the very one a header label echoes, the
+	// label would show the base document's placeholder for every row —
+	// mark it swept instead of mislabeling the series.
+	switch {
+	case rep.SweepField == "platform" || rep.SweepField == "platform_file",
+		strings.HasPrefix(rep.SweepField, "fleet.groups"):
+		hwLabel += " (swept)"
+	case rep.SweepField == "workload.scenario" || rep.SweepField == "workload.trace_file",
+		rep.SweepField == "workload.rate_per_sec" && sp.Workload != nil &&
+			sp.Workload.Scenario == "" && sp.Workload.TraceFile == "" && sp.Workload.Arrival != "uniform",
+		rep.SweepField == "workload.interval_ms" && sp.Workload != nil && sp.Workload.Arrival == "uniform":
+		wlLabel += " (swept)"
+	}
+	fmt.Printf("sweep %s over %d points  (%s: %s / %s, workload=%s)\n",
+		rep.SweepField, len(rep.Sweep), inner.Kind,
+		hwLabel, sp.Model, wlLabel)
+	// Table values round to 6 significant digits — a log-spaced range
+	// point is 0.1, not 0.10000000000000002; -json keeps full precision.
+	val := func(pt skip.SweepPoint) string {
+		if f, ok := pt.Value.(float64); ok {
+			return fmt.Sprintf("%.6g", f)
+		}
+		return fmt.Sprintf("%v", pt.Value)
+	}
+	switch inner.Kind {
+	case skip.KindRun:
+		// run.new_tokens can itself be swept across zero, so the series
+		// may mix prefill-only points (Report.Run) with generate points
+		// (Report.Generate) — choose per point, not from point 0.
+		fmt.Printf("  %14s %14s %14s %14s\n", "value", "TTFT", "TPOT", "total")
+		for _, pt := range rep.Sweep {
+			if g := pt.Report.Generate; g != nil {
+				fmt.Printf("  %14s %14v %14v %14v\n", val(pt), g.TTFT, g.TPOT, g.Total)
+			} else {
+				r := pt.Report.Run
+				fmt.Printf("  %14s %14v %14s %14v\n", val(pt), r.TTFT, "-", r.TTFT)
+			}
+		}
+	case skip.KindServe:
+		fmt.Printf("  %14s %12s %12s %12s %9s %9s %7s\n",
+			"value", "P50 TTFT", "P95 TTFT", "P95 E2E", "tok/s", "goodput", "SLO")
+		for _, pt := range rep.Sweep {
+			st := pt.Report.Serve
+			fmt.Printf("  %14s %12v %12v %12v %9.0f %9.1f %6.0f%%\n",
+				val(pt), st.P50TTFT, st.P95TTFT, st.P95E2E,
+				st.TokensPerSec, st.Goodput, st.SLOAttainment*100)
+		}
+	case skip.KindCluster:
+		fmt.Printf("  %14s %12s %12s %12s %9s %9s %8s\n",
+			"value", "P95 TTFT", "P50 TPOT", "P95 E2E", "tok/s", "goodput", "rejected")
+		for _, pt := range rep.Sweep {
+			st := pt.Report.Cluster
+			fmt.Printf("  %14s %12v %12v %12v %9.0f %9.1f %8d\n",
+				val(pt), st.P95TTFT, st.P50TPOT, st.P95E2E,
+				st.TokensPerSec, st.Goodput, st.Rejected)
+		}
+	case skip.KindDisagg:
+		fmt.Printf("  %14s %12s %12s %12s %9s %10s %12s\n",
+			"value", "P95 TTFT", "P95 E2E", "goodput", "transfers", "wire mean", "stall mean")
+		for _, pt := range rep.Sweep {
+			st := pt.Report.Disagg
+			fmt.Printf("  %14s %12v %12v %12.1f %9d %10v %12v\n",
+				val(pt), st.P95TTFT, st.P95E2E, st.Goodput,
+				st.Transfers, st.MeanTransfer, st.MeanTransferStall)
+		}
 	}
 }
 

@@ -3,6 +3,11 @@
 // all three evaluation platforms, with CPU→GPU-bound transition points
 // and platform crossover.
 //
+// The per-platform batch loop is a Spec with a sweep section over
+// run.batch: one Simulate call returns the whole TTFT series (points
+// executed in parallel), and each point's engine trace feeds SKIP's
+// profiler exactly as a hand-rolled skip.Run loop would.
+//
 //	go run ./examples/batch_sweep
 package main
 
@@ -24,18 +29,28 @@ func main() {
 	series := make(map[string][]skip.SeriesPoint)
 	platforms := []string{skip.AMDA100, skip.IntelH100, skip.GH200}
 
+	values := make([]any, len(batches))
+	for i, bs := range batches {
+		values[i] = bs
+	}
 	for _, plat := range platforms {
-		for _, bs := range batches {
-			res, err := skip.Run(plat, model, bs, seq, skip.ModeEager)
-			if err != nil {
-				log.Fatal(err)
-			}
+		sp := &skip.Spec{
+			Platform: plat, Model: model, Mode: "eager",
+			Run:   &skip.RunSpec{Batch: batches[0], Seq: seq},
+			Sweep: &skip.SweepSpec{Field: "run.batch", Values: values},
+		}
+		rep, err := skip.Simulate(sp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, pt := range rep.Sweep {
+			res := pt.Report.Run
 			m, _, err := skip.Profile(res.Trace)
 			if err != nil {
 				log.Fatal(err)
 			}
 			series[plat] = append(series[plat], skip.SeriesPoint{
-				Batch: bs, TKLQT: m.TKLQT, TTFT: res.TTFT, Metrics: m,
+				Batch: res.Request.Batch, TKLQT: m.TKLQT, TTFT: res.TTFT, Metrics: m,
 			})
 		}
 	}

@@ -11,10 +11,10 @@
 //     replayed through a mixed GH200 + Intel+H100 fleet behind a
 //     session-affinity router, with the event stream tapped through an
 //     Observer.
-//  2. examples/specs/single_node_chat.json — a single GH200 chat
-//     serving scenario, swept across offered load by editing the loaded
-//     spec in memory: the declarative form makes "same experiment,
-//     different rate" a one-field change.
+//  2. examples/specs/sweep_rate.json — a single GH200 chat serving
+//     scenario with a sweep section over workload.rate_per_sec: one
+//     Simulate call runs all four offered-load points (concurrently on
+//     a worker pool) and returns the ordered Report series.
 //
 // Run from the repository root:
 //
@@ -72,23 +72,26 @@ func replayFleetTrace() {
 }
 
 func sweepSingleNode() {
-	sp, err := skip.LoadSpec("examples/specs/single_node_chat.json")
+	sp, err := skip.LoadSpec("examples/specs/sweep_rate.json")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nsingle-node sweep: %s / %s chat load, offered rate swept on one spec\n",
+	// The spec's sweep section replaces the hand-rolled "edit the rate,
+	// simulate again" loop: one Simulate call returns the whole series,
+	// with the points executed in parallel and reassembled in order.
+	rep, err := skip.Simulate(sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsingle-node sweep: %s / %s chat load, offered rate swept by the spec's sweep section\n",
 		sp.Platform, sp.Model)
 	fmt.Printf("  %8s %12s %12s %10s %16s\n", "req/s", "P50 TTFT", "P95 TTFT", "tok/s", "goodput (req/s)")
-	for _, rate := range []float64{2, 5, 10, 20} {
-		sp.Workload.RatePerSec = rate
-		rep, err := skip.Simulate(sp)
-		if err != nil {
-			log.Fatal(err)
-		}
-		st := rep.Serve
+	for _, pt := range rep.Sweep {
+		st := pt.Report.Serve
 		fmt.Printf("  %8.0f %12v %12v %10.0f %11.1f (%3.0f%%)\n",
-			rate, st.P50TTFT, st.P95TTFT, st.TokensPerSec, st.Goodput, st.SLOAttainment*100)
+			pt.Value, st.P50TTFT, st.P95TTFT, st.TokensPerSec, st.Goodput, st.SLOAttainment*100)
 	}
 	fmt.Println("\nThe knee between 10 and 20 req/s is the paper's §II-A trade-off:")
 	fmt.Println("past the balanced region, queueing pushes the TTFT tail out faster")

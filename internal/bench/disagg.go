@@ -166,22 +166,30 @@ func runExtDisagg() (*Result, error) {
 	// where disaggregation starts beating monolithic serving on P95 E2E
 	// (chat, the winning prefill=GH200 assignment): a starved link
 	// serializes every handoff and erases the phase-split win; the
-	// question is how much interconnect buys it back.
+	// question is how much interconnect buys it back. The loop is the
+	// spec's sweep section: one document, one Simulate call, the points
+	// executed concurrently and returned as an ordered series.
 	swTbl := Table{
 		Title:   "KV-transfer bandwidth sweep, chat workload, prefill=GH200 + decode=Intel+H100 (host hops disabled to isolate the link)",
 		Columns: []string{"link GB/s", "P95 TTFT (ms)", "P50 TPOT (ms)", "P95 E2E (ms)", "goodput (req/s)", "wire mean (ms)", "stall mean (ms)"},
 	}
 	monoChat := monoStats["chat"]
 	sweep := []float64{0.01, 0.05, 0.25, 1, 64, 450}
+	swSpec := disaggStudySpec("chat", prefillCoupledGroups(), &spec.DisaggregationSpec{HostHopMultiplier: 1})
+	values := make([]any, len(sweep))
+	for i, bw := range sweep {
+		values[i] = bw
+	}
+	swSpec.Sweep = &spec.SweepSpec{Field: "fleet.disaggregation.bandwidth_gbps", Values: values}
+	swRep, err := spec.Simulate(swSpec)
+	if err != nil {
+		return nil, err
+	}
 	var crossover float64 = -1
 	var sweepStats []*disagg.Stats
-	for _, bw := range sweep {
-		rep, err := spec.Simulate(disaggStudySpec("chat", prefillCoupledGroups(),
-			&spec.DisaggregationSpec{BandwidthGBps: bw, HostHopMultiplier: 1}))
-		if err != nil {
-			return nil, err
-		}
-		st := rep.Disagg
+	for i, pt := range swRep.Sweep {
+		bw := sweep[i]
+		st := pt.Report.Disagg
 		sweepStats = append(sweepStats, st)
 		if crossover < 0 && st.P95E2E <= monoChat.P95E2E {
 			crossover = bw

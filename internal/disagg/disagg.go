@@ -118,8 +118,19 @@ type Config struct {
 }
 
 func (c *Config) validate() error {
+	if err := c.Transfer.validate(); err != nil {
+		return err
+	}
 	if len(c.Groups) == 0 {
 		return fmt.Errorf("disagg: config needs at least one group")
+	}
+	// KV handoffs originate only on RolePrefill instances; an all-"both"
+	// fleet never transfers and needs no priceable link.
+	var transfersPossible bool
+	for _, g := range c.Groups {
+		if g.Role == RolePrefill {
+			transfersPossible = true
+		}
 	}
 	var prefillable, decodable int
 	for i, g := range c.Groups {
@@ -128,6 +139,15 @@ func (c *Config) validate() error {
 		}
 		if g.Count <= 0 {
 			return fmt.Errorf("disagg: group %d (%s) needs a positive count, got %d", i, g.Platform.Name, g.Count)
+		}
+		// hw.Validate deliberately permits zero interconnect bandwidth on
+		// unified-physical-memory platforms (their CPU↔GPU transfers are
+		// free), but a KV handoff between *instances* still crosses a
+		// wire: with no override, TransferModel.Time would divide by
+		// zero and price every transfer at +Inf. Reject the fleet here,
+		// naming the platform, instead of simulating nonsense.
+		if transfersPossible && c.Transfer.BandwidthGBps == 0 && g.Platform.IC.BandwidthGBps <= 0 {
+			return fmt.Errorf("disagg: platform %q has no interconnect bandwidth to price KV transfers (unified-memory platforms may declare zero); set Transfer.BandwidthGBps or give the platform a positive IC bandwidth", g.Platform.Name)
 		}
 		if g.Role != RolePrefill {
 			decodable += g.Count
@@ -148,7 +168,7 @@ func (c *Config) validate() error {
 	if c.AdmitRatePerSec < 0 {
 		return fmt.Errorf("disagg: admission rate must be non-negative, got %g", c.AdmitRatePerSec)
 	}
-	return c.Transfer.validate()
+	return nil
 }
 
 // member is one instance with its disaggregation role.

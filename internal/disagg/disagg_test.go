@@ -101,6 +101,62 @@ func TestTransferTimeInterconnectOrdering(t *testing.T) {
 	}
 }
 
+// TestZeroBandwidthPlatformRejected: hw validation deliberately permits
+// zero interconnect bandwidth on unified-physical-memory platforms
+// (CPU↔GPU transfers are free there), but an instance-to-instance KV
+// handoff still crosses a wire — without an override the transfer model
+// would divide by zero and price every handoff at +Inf. Such fleets
+// must be rejected at config validation with the platform named; an
+// explicit Transfer.BandwidthGBps override makes them legal again.
+func TestZeroBandwidthPlatformRejected(t *testing.T) {
+	unified := hw.MI300A()
+	unified.Name = "CustomUnified"
+	unified.IC.BandwidthGBps = 0
+	if err := unified.Validate(); err != nil {
+		t.Fatalf("zero IC bandwidth should pass hw validation on a unified platform: %v", err)
+	}
+
+	cfg := testConfig()
+	cfg.Groups = []Group{
+		{Platform: unified, Count: 1, Role: RolePrefill},
+		{Platform: hw.IntelH100(), Count: 1, Role: RoleDecode},
+	}
+	_, err := Simulate(cfg, testWorkload(t, 4))
+	if err == nil {
+		t.Fatal("fleet with an unpriceable transfer endpoint should be rejected")
+	}
+	if !strings.Contains(err.Error(), "CustomUnified") || !strings.Contains(err.Error(), "bandwidth") {
+		t.Errorf("error should name the platform and the missing bandwidth, got: %v", err)
+	}
+
+	// The override restores a finite price and the fleet simulates.
+	cfg.Transfer.BandwidthGBps = 100
+	st, err := Simulate(cfg, testWorkload(t, 4))
+	if err != nil {
+		t.Fatalf("override should make the fleet legal: %v", err)
+	}
+	if st.Transfers == 0 || st.MeanTransfer <= 0 {
+		t.Errorf("overridden fleet should price transfers finitely, got %d transfers, mean %v",
+			st.Transfers, st.MeanTransfer)
+	}
+
+	// An all-"both" fleet never hands a cache off — no RolePrefill
+	// source, no transfers — so the unpriceable link is irrelevant and
+	// the fleet stays legal without an override.
+	cfg.Transfer.BandwidthGBps = 0
+	cfg.Groups = []Group{
+		{Platform: unified, Count: 1, Role: RoleBoth},
+		{Platform: hw.IntelH100(), Count: 1, Role: RoleBoth},
+	}
+	st, err = Simulate(cfg, testWorkload(t, 4))
+	if err != nil {
+		t.Fatalf("transfer-free fleet should not need a priceable link: %v", err)
+	}
+	if st.Transfers != 0 {
+		t.Errorf("all-both fleet moved %d transfers, want 0", st.Transfers)
+	}
+}
+
 // TestSimulateLedger runs a small disaggregated fleet and checks the
 // cross-pool ledger: every prefill completion is matched by exactly one
 // decode completion (no drops here), TTFTs come only from the prefill

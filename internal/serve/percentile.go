@@ -55,10 +55,16 @@ func meanTime(samples []sim.Time) sim.Time {
 // SLOGoodput computes the SLO block shared by the serving and cluster
 // stats paths: the fraction of TTFT samples within slo and the
 // corresponding goodput over the horizon. slo <= 0 means no SLO: full
-// attainment, goodput == throughput.
+// attainment, goodput == throughput. With an SLO configured but zero
+// TTFT samples — a server that rejected, abandoned, or never finished
+// everything — attainment and goodput are 0: serving nobody is total
+// SLO failure, not vacuous perfection.
 func SLOGoodput(ttfts []sim.Time, slo, horizon sim.Time, throughput float64) (attainment, goodput float64) {
-	if slo <= 0 || len(ttfts) == 0 {
+	if slo <= 0 {
 		return 1, throughput
+	}
+	if len(ttfts) == 0 {
+		return 0, 0
 	}
 	met := 0
 	for _, t := range ttfts {

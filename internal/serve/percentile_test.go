@@ -44,6 +44,27 @@ func TestPercentileSmallSamples(t *testing.T) {
 	}
 }
 
+// TestSLOGoodputNoSamples: with an SLO configured and zero completed
+// requests, attainment must be 0, not a vacuous 100% — a fleet that
+// rejected or abandoned everything did not meet its objective. Without
+// an SLO the no-SLO identity (full attainment, goodput == throughput)
+// still holds for any sample count.
+func TestSLOGoodputNoSamples(t *testing.T) {
+	att, good := SLOGoodput(nil, 500*sim.Millisecond, 10*sim.Second, 0)
+	if att != 0 || good != 0 {
+		t.Errorf("SLO set, no samples: attainment %g goodput %g, want 0 and 0", att, good)
+	}
+	att, good = SLOGoodput(nil, 0, 10*sim.Second, 3.5)
+	if att != 1 || good != 3.5 {
+		t.Errorf("no SLO, no samples: attainment %g goodput %g, want 1 and throughput", att, good)
+	}
+	att, good = SLOGoodput([]sim.Time{100 * sim.Millisecond, sim.Second},
+		500*sim.Millisecond, 10*sim.Second, 0.2)
+	if att != 0.5 || good != 0.1 {
+		t.Errorf("half in SLO: attainment %g goodput %g, want 0.5 and 0.1", att, good)
+	}
+}
+
 func TestPercentileUnsortedInput(t *testing.T) {
 	samples := []sim.Time{90, 10, 50, 30, 70}
 	if got := Percentile(samples, 50); got != 50 {

@@ -45,7 +45,10 @@ var traceColumns = map[string]string{
 // backwards is corrupt (or mis-exported), and silently reordering it
 // would hide that while changing which request each row's neighbors
 // race against — so a non-monotonic arrival_ms is rejected with its
-// line number, as are negative token counts.
+// line number, as are negative token counts. Reported line numbers are
+// true file lines (from the reader's field positions), so comment
+// lines and the header don't shift them: "line 5" is line 5 of the
+// file, not the fifth data record.
 func ParseTrace(r io.Reader) ([]Request, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
@@ -74,25 +77,30 @@ func ParseTrace(r io.Reader) ([]Request, error) {
 
 	var reqs []Request
 	prevMs := -1.0
-	for row := 1; ; row++ {
+	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("serve: trace: row %d: %w", row, err)
+			// csv.ParseError already names the true file line and column.
+			return nil, fmt.Errorf("serve: trace: %w", err)
 		}
+		// FieldPos reports where the record actually sits in the file —
+		// comment lines and the header have already consumed lines, so a
+		// record counter would point the user at the wrong place.
+		line, _ := cr.FieldPos(0)
 		arrivalMs, err := strconv.ParseFloat(strings.TrimSpace(rec[cols["arrival"]]), 64)
 		if err != nil || arrivalMs < 0 {
-			return nil, fmt.Errorf("serve: trace: row %d: arrival_ms must be a non-negative number, got %q", row, rec[cols["arrival"]])
+			return nil, fmt.Errorf("serve: trace: line %d: arrival_ms must be a non-negative number, got %q", line, rec[cols["arrival"]])
 		}
 		if arrivalMs < prevMs {
-			return nil, fmt.Errorf("serve: trace: row %d: arrival_ms %g goes back in time (previous row arrived at %g); traces must be sorted by arrival", row, arrivalMs, prevMs)
+			return nil, fmt.Errorf("serve: trace: line %d: arrival_ms %g goes back in time (previous row arrived at %g); traces must be sorted by arrival", line, arrivalMs, prevMs)
 		}
 		prevMs = arrivalMs
 		prompt, err := strconv.ParseInt(strings.TrimSpace(rec[cols["prompt"]]), 10, 64)
 		if err != nil || prompt <= 0 {
-			return nil, fmt.Errorf("serve: trace: row %d: prompt_tokens must be a positive integer, got %q", row, rec[cols["prompt"]])
+			return nil, fmt.Errorf("serve: trace: line %d: prompt_tokens must be a positive integer, got %q", line, rec[cols["prompt"]])
 		}
 		req := Request{
 			ID:        len(reqs),
@@ -102,14 +110,14 @@ func ParseTrace(r io.Reader) ([]Request, error) {
 		if idx, ok := cols["output"]; ok {
 			out, err := strconv.ParseInt(strings.TrimSpace(rec[idx]), 10, 64)
 			if err != nil || out < 0 {
-				return nil, fmt.Errorf("serve: trace: row %d: output_tokens must be a non-negative integer, got %q", row, rec[idx])
+				return nil, fmt.Errorf("serve: trace: line %d: output_tokens must be a non-negative integer, got %q", line, rec[idx])
 			}
 			req.OutputLen = out
 		}
 		if idx, ok := cols["session"]; ok {
 			sess, err := strconv.ParseInt(strings.TrimSpace(rec[idx]), 10, 64)
 			if err != nil || sess < 0 {
-				return nil, fmt.Errorf("serve: trace: row %d: session_id must be a non-negative integer, got %q", row, rec[idx])
+				return nil, fmt.Errorf("serve: trace: line %d: session_id must be a non-negative integer, got %q", line, rec[idx])
 			}
 			req.SessionID = sess
 		}

@@ -35,18 +35,45 @@ func TestParseTrace(t *testing.T) {
 // corrupt or mis-exported log; the parser names the offending line
 // instead of silently reordering the calendar.
 func TestParseTraceRejectsOutOfOrder(t *testing.T) {
+	// The offending record is the third data row — file line 4, after
+	// the header on line 1.
 	_, err := ParseTrace(strings.NewReader(
 		"arrival_ms,prompt_tokens\n5,128\n12.5,64\n3,256\n"))
 	if err == nil {
 		t.Fatal("out-of-order trace should fail")
 	}
-	if !strings.Contains(err.Error(), "row 3") || !strings.Contains(err.Error(), "back in time") {
-		t.Errorf("error should name row 3 and the cause, got: %v", err)
+	if !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), "back in time") {
+		t.Errorf("error should name line 4 and the cause, got: %v", err)
 	}
 	// Equal timestamps are fine: logs often batch at one instant.
 	if _, err := ParseTrace(strings.NewReader(
 		"arrival_ms,prompt_tokens\n5,128\n5,64\n")); err != nil {
 		t.Errorf("equal arrivals should parse: %v", err)
+	}
+}
+
+// TestParseTraceErrorLineNumbers: reported positions must be true file
+// lines — comment lines and the header consume lines too, so a record
+// counter would point at the wrong place in an editor.
+func TestParseTraceErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		name     string
+		doc      string
+		wantLine string
+	}{
+		{"comments shift the header", "# exported 2026-07-01\n# source: gateway logs\narrival_ms,prompt_tokens\n5,128\nbad,64\n", "line 5"},
+		{"interleaved comment", "arrival_ms,prompt_tokens\n5,128\n# resumed after rotation\n7,0\n", "line 4"},
+		{"first data row", "arrival_ms,prompt_tokens\n-1,128\n", "line 2"},
+	}
+	for _, tc := range cases {
+		_, err := ParseTrace(strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: ParseTrace should fail", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLine) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.wantLine)
+		}
 	}
 }
 

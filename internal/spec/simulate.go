@@ -32,6 +32,11 @@ type Report struct {
 	// KindDisagg: the disaggregated-fleet statistics.
 	Disagg *disagg.Stats `json:"disagg,omitempty"`
 
+	// KindSweep: the swept field's JSON path and the ordered series,
+	// one full Report per substituted value.
+	SweepField string       `json:"sweep_field,omitempty"`
+	Sweep      []SweepPoint `json:"sweep,omitempty"`
+
 	// Offered is the workload's request count (serve, cluster, and
 	// disagg kinds).
 	Offered int `json:"offered,omitempty"`
@@ -52,6 +57,7 @@ func ReportJSON(r *Report) ([]byte, error) {
 type options struct {
 	observer      serve.Observer
 	progressEvery int
+	sweepWorkers  int
 }
 
 // Option customizes a Simulate call without touching the Spec — the
@@ -73,10 +79,21 @@ func WithProgressEvery(n int) Option {
 	return func(o *options) { o.progressEvery = n }
 }
 
+// WithSweepWorkers bounds the sweep worker pool (default: one worker
+// per CPU, capped at the point count). The assembled series is
+// bit-identical at any worker count — this is a resource knob, not a
+// results knob. An observer overrides it to one worker so the event
+// stream stays in point order. Ignored for non-sweep specs.
+func WithSweepWorkers(n int) Option {
+	return func(o *options) { o.sweepWorkers = n }
+}
+
 // Simulate validates the spec and dispatches it to the engine, serving,
-// or cluster layer (see Kind), returning a unified Report. The
-// simulation is deterministic for a fixed spec: CLI, bench, and library
-// callers sharing a spec reproduce identical numbers.
+// or cluster layer (see Kind), returning a unified Report; a spec with
+// a sweep section runs once per swept value and returns the ordered
+// series. The simulation is deterministic for a fixed spec — sweep
+// points included, at any worker count: CLI, bench, and library callers
+// sharing a spec reproduce identical numbers.
 func Simulate(s *Spec, opts ...Option) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -86,6 +103,8 @@ func Simulate(s *Spec, opts ...Option) (*Report, error) {
 		opt(&o)
 	}
 	switch s.Kind() {
+	case KindSweep:
+		return s.simulateSweep(&o)
 	case KindRun:
 		return s.simulateRun()
 	case KindServe:

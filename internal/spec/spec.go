@@ -54,11 +54,47 @@ type Spec struct {
 	Serve *ServeSpec `json:"serve,omitempty"`
 	// Fleet configures a multi-instance fleet behind a router.
 	Fleet *FleetSpec `json:"fleet,omitempty"`
+	// Sweep runs the experiment once per value of one document field and
+	// returns a Report series (Kind "sweep") instead of a single result.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
 
 	// baseDir is the directory relative file references (trace_file,
 	// platform_file) resolve against; Load sets it to the spec file's
 	// directory, Parse leaves it empty (the process working directory).
 	baseDir string
+}
+
+// SweepSpec sweeps one document field across a value series: the base
+// spec is cloned once per value, the named leaf substituted, and every
+// point simulated as an independent experiment. Points execute
+// concurrently on a bounded worker pool (see WithSweepWorkers) and the
+// series is reassembled in value order, so a sweep Report is
+// bit-identical to running the points serially by hand.
+//
+// The base document must be valid standalone — the swept field keeps
+// its base value as a placeholder — and each point is re-validated
+// after substitution, so a value that would make the document invalid
+// fails with the offending point named.
+type SweepSpec struct {
+	// Field names the swept leaf by its JSON path from the document
+	// root, e.g. "workload.rate_per_sec", "serve.max_batch",
+	// "fleet.disaggregation.bandwidth_gbps", or an indexed
+	// "fleet.groups[0].count". The section holding the leaf must be
+	// present in the base document; only numeric and string leaves are
+	// sweepable.
+	Field string `json:"field"`
+	// Values lists the points explicitly — numbers or strings, matching
+	// the leaf's type (integer leaves need integral values). Mutually
+	// exclusive with the range form.
+	Values []any `json:"values,omitempty"`
+	// From/To/Steps is the range form: Steps points from From to To
+	// inclusive, for numeric leaves only.
+	From  float64 `json:"from,omitempty"`
+	To    float64 `json:"to,omitempty"`
+	Steps int     `json:"steps,omitempty"`
+	// Scale spaces the range points: "linear" (the default) or "log"
+	// (geometric spacing; needs positive from and to).
+	Scale string `json:"scale,omitempty"`
 }
 
 // RunSpec describes a single engine inference.
@@ -230,6 +266,9 @@ const (
 	// KindDisagg is a prefill/decode disaggregated fleet with
 	// interconnect-priced KV handoff.
 	KindDisagg
+	// KindSweep is a one-field sweep: an ordered series of independent
+	// simulations of the base document.
+	KindSweep
 )
 
 func (k Kind) String() string {
@@ -242,6 +281,8 @@ func (k Kind) String() string {
 		return "cluster"
 	case KindDisagg:
 		return "disagg"
+	case KindSweep:
+		return "sweep"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -254,10 +295,20 @@ func (k Kind) MarshalJSON() ([]byte, error) {
 }
 
 // Kind reports the layer the spec dispatches to, from section presence:
-// a fleet section means cluster (disagg when it has a disaggregation
-// section), a serve section means serve, otherwise run. Validate
-// enforces that the sections present are coherent.
+// a sweep section means a Report series, a fleet section means cluster
+// (disagg when it has a disaggregation section), a serve section means
+// serve, otherwise run. Validate enforces that the sections present are
+// coherent.
 func (s *Spec) Kind() Kind {
+	if s.Sweep != nil {
+		return KindSweep
+	}
+	return s.baseKind()
+}
+
+// baseKind is the layer one sweep point dispatches to — the kind of the
+// document with the sweep section ignored.
+func (s *Spec) baseKind() Kind {
 	switch {
 	case s.Fleet != nil && s.Fleet.Disaggregation != nil:
 		return KindDisagg

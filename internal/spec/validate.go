@@ -2,6 +2,8 @@ package spec
 
 import (
 	"fmt"
+	"reflect"
+	"strings"
 
 	"github.com/skipsim/skip/internal/cluster"
 	"github.com/skipsim/skip/internal/disagg"
@@ -32,8 +34,8 @@ func (s *Spec) Validate() error {
 		return errAt("run", "mutually exclusive with workload/serve/fleet sections")
 	case s.Run == nil && s.Serve == nil && s.Fleet == nil:
 		return errAt("", "needs a run, serve, or fleet section")
-	case s.Kind() != KindRun && s.Workload == nil:
-		return errAt("workload", "required for %s specs", s.Kind())
+	case s.baseKind() != KindRun && s.Workload == nil:
+		return errAt("workload", "required for %s specs", s.baseKind())
 	}
 
 	if s.Model == "" {
@@ -91,12 +93,74 @@ func (s *Spec) Validate() error {
 	// Cross-section: the legacy prefill-only policies ignore
 	// per-request lengths, so scenario and trace workloads (whose whole
 	// point is those lengths) refuse to feed them.
-	if s.Kind() == KindServe && s.Serve != nil && s.Workload != nil {
+	if s.baseKind() == KindServe && s.Serve != nil && s.Workload != nil {
 		policy, _ := serve.ParsePolicy(s.Serve.policyName())
 		if policy == serve.StaticBatch || policy == serve.GreedyBatch {
 			if s.Workload.Scenario != "" || s.Workload.TraceFile != "" {
 				return errAt("serve.policy", "%q is prefill-only and ignores per-request lengths; use a bare arrival workload with it", s.Serve.policyName())
 			}
+		}
+	}
+
+	// The sweep section last: its field path resolves against the
+	// now-known-coherent base document.
+	if s.Sweep != nil {
+		if err := s.Sweep.validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks the sweep section against the base document: the
+// field path must resolve to a present numeric or string leaf, exactly
+// one of the values / range forms must be given, and every point must
+// be assignable to the leaf (integer leaves reject fractional range
+// points rather than silently rounding).
+func (sw *SweepSpec) validate(s *Spec) error {
+	if sw.Field == "" {
+		return errAt("sweep.field", "required")
+	}
+	// The sweep cannot sweep itself: each point's document drops the
+	// sweep section, so a path rooted there would validate against the
+	// base and then fail every point with a misleading error.
+	if sw.Field == "sweep" || strings.HasPrefix(sw.Field, "sweep.") || strings.HasPrefix(sw.Field, "sweep[") {
+		return errAt("sweep.field", "cannot sweep the sweep section itself")
+	}
+	leaf, err := resolveField(s, sw.Field)
+	if err != nil {
+		return errAt("sweep.field", "%v", err)
+	}
+	switch {
+	case len(sw.Values) == 0 && !sw.rangeForm():
+		return errAt("sweep", "needs a values list or a from/to/steps range")
+	case len(sw.Values) > 0 && sw.rangeForm():
+		return errAt("sweep.values", "mutually exclusive with the from/to/steps range form")
+	}
+	if len(sw.Values) > 0 {
+		for i, v := range sw.Values {
+			if err := checkAssignable(leaf, v); err != nil {
+				return errAt(fmt.Sprintf("sweep.values[%d]", i), "%v", err)
+			}
+		}
+		return nil
+	}
+	if leaf.Kind() == reflect.String {
+		return errAt("sweep.field", "%q is a string leaf; the range form needs a numeric one — list values explicitly", sw.Field)
+	}
+	switch {
+	case sw.Steps < 2:
+		return errAt("sweep.steps", "must be at least 2, got %d", sw.Steps)
+	case sw.Steps > maxSweepSteps:
+		return errAt("sweep.steps", "must be at most %d, got %d", maxSweepSteps, sw.Steps)
+	case sw.Scale != "" && sw.Scale != "linear" && sw.Scale != "log":
+		return errAt("sweep.scale", "unknown scale %q (have linear|log)", sw.Scale)
+	case sw.Scale == "log" && (sw.From <= 0 || sw.To <= 0):
+		return errAt("sweep.from", "log scale needs positive from and to, got %g..%g", sw.From, sw.To)
+	}
+	for i, v := range sw.points() {
+		if err := checkAssignable(leaf, v); err != nil {
+			return errAt("sweep.steps", "range point %d: %v", i, err)
 		}
 	}
 	return nil

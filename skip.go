@@ -455,6 +455,11 @@ type (
 	// DisaggregationSpec is the fleet.disaggregation section: pool
 	// routers and the KV-transfer knobs.
 	DisaggregationSpec = spec.DisaggregationSpec
+	// SweepSpec is the sweep section of a Spec: one document field
+	// swept across a value series, each point an independent simulation.
+	SweepSpec = spec.SweepSpec
+	// SweepPoint is one entry of a sweep Report's ordered series.
+	SweepPoint = spec.SweepPoint
 	// LengthDistSpec is a token-length distribution in JSON form.
 	LengthDistSpec = spec.LengthDistSpec
 	// Report is Simulate's unified outcome, discriminated by Kind.
@@ -477,6 +482,7 @@ const (
 	KindServe   = spec.KindServe
 	KindCluster = spec.KindCluster
 	KindDisagg  = spec.KindDisagg
+	KindSweep   = spec.KindSweep
 )
 
 // Simulation lifecycle event types.
@@ -496,8 +502,10 @@ const (
 )
 
 // Simulate validates the spec and runs it on the matching layer —
-// engine, serving instance, or cluster — returning a unified Report.
-// Deterministic for a fixed spec: the CLI, bench experiments, and
+// engine, serving instance, or cluster — returning a unified Report; a
+// spec with a sweep section runs once per swept value (concurrently on
+// a bounded worker pool) and returns the ordered series. Deterministic
+// for a fixed spec at any worker count: the CLI, bench experiments, and
 // library callers sharing a spec reproduce identical numbers.
 func Simulate(s *Spec, opts ...SimOption) (*Report, error) { return spec.Simulate(s, opts...) }
 
@@ -509,6 +517,11 @@ func WithObserver(fn Observer) SimOption { return spec.WithObserver(fn) }
 // WithProgressEvery emits an EventProgress tick every n completions
 // (default: every 10% of the workload).
 func WithProgressEvery(n int) SimOption { return spec.WithProgressEvery(n) }
+
+// WithSweepWorkers bounds the worker pool a sweep spec's points execute
+// on (default: one per CPU). The series is bit-identical at any worker
+// count; an observer forces one worker so events arrive in point order.
+func WithSweepWorkers(n int) SimOption { return spec.WithSweepWorkers(n) }
 
 // LoadSpec reads a spec file; relative trace_file / platform_file
 // references resolve against the file's directory.
