@@ -280,7 +280,9 @@ func printClusterReport(sp *skip.Spec, rep *skip.Report) {
 		fmt.Printf("  goodput %.1f req/s, %.0f%% in SLO", stats.Goodput, stats.SLOAttainment*100)
 	}
 	fmt.Println()
-	fmt.Printf("  imbalance    %.3f (CV of per-instance routed counts)\n\n", stats.LoadImbalance)
+	fmt.Printf("  imbalance    %.3f (CV of per-instance routed counts)\n", stats.LoadImbalance)
+	printChaos(stats.Chaos)
+	fmt.Println()
 
 	fmt.Printf("  %-16s %7s %7s %12s %12s %9s %8s %8s\n",
 		"instance", "routed", "done", "P95 TTFT", "P95 E2E", "tok/s", "peak KV", "preempt")
@@ -323,7 +325,9 @@ func printDisaggReport(sp *skip.Spec, rep *skip.Report) {
 		fmt.Printf("  goodput %.1f req/s, %.0f%% in SLO", stats.Goodput, stats.SLOAttainment*100)
 	}
 	fmt.Println()
-	fmt.Printf("  imbalance    %.3f (CV of per-instance placed work)\n\n", stats.LoadImbalance)
+	fmt.Printf("  imbalance    %.3f (CV of per-instance placed work)\n", stats.LoadImbalance)
+	printChaos(stats.Chaos)
+	fmt.Println()
 
 	fmt.Printf("  %-24s %7s %7s %7s %12s %9s %8s\n",
 		"instance", "routed", "resumed", "done", "P95 TTFT", "tok/s", "peak KV")
@@ -332,6 +336,20 @@ func printDisaggReport(sp *skip.Spec, rep *skip.Report) {
 			is.Name, is.Routed, is.Resumed, is.Serve.Completed,
 			is.Serve.P95TTFT, is.Serve.TokensPerSec, is.Serve.PeakKVFrac*100)
 	}
+}
+
+// printChaos renders the churn ledger of a dynamic fleet (autoscale or
+// fault injection active); static fleets carry none and print nothing.
+func printChaos(c *skip.ChaosStats) {
+	if c == nil {
+		return
+	}
+	fmt.Printf("  fleet churn  %d joins, %d drains  active peak %d → final %d\n",
+		c.Joins, c.Drains, c.PeakActive, c.FinalActive)
+	fmt.Printf("  faults       %d crashes, %d slow nodes, %d degraded links\n",
+		c.Crashes, c.SlowNodes, c.DegradedLinks)
+	fmt.Printf("  requeues     %d killed = %d requeued + %d dropped  (%d session re-pins)\n",
+		c.Killed, c.Requeued, c.Dropped, c.Repins)
 }
 
 func printGenerate(sp *skip.Spec, res *skip.GenerateResult) {

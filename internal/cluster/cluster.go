@@ -51,6 +51,14 @@ type Config struct {
 	// instance name stamped in. Per-instance observers set on the
 	// instance configs still fire independently.
 	Observer serve.Observer
+	// Autoscale, when set, grows and shrinks the fleet against a load
+	// signal while the simulation runs (see AutoscaleConfig). Nil keeps
+	// the fleet static — the pre-refactor behavior, bit for bit.
+	Autoscale *AutoscaleConfig
+	// Faults, when set, injects instance crashes and slow-node
+	// multipliers on schedule or at seeded-random instants (see
+	// FaultsConfig). Nil injects nothing.
+	Faults *FaultsConfig
 }
 
 func (c *Config) validate() error {
@@ -65,13 +73,166 @@ func (c *Config) validate() error {
 	if c.AdmitRatePerSec < 0 {
 		return fmt.Errorf("cluster: admission rate must be non-negative, got %g", c.AdmitRatePerSec)
 	}
+	if c.Autoscale != nil {
+		if err := c.Autoscale.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(false); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// fleetSim is one in-flight fleet simulation: the shared calendar, the
+// mutable membership view, the routing and admission state, and the
+// churn ledger. Membership is index-stable — the members slice only
+// grows (autoscale joins append) and departed instances stay in place
+// as Stopped, filtered by the router's Accepting checks — so session
+// pins, the round-robin cursor, and per-instance statistics never
+// reindex under churn.
+type fleetSim struct {
+	cfg Config
+	cal *sim.Calendar
+
+	members []*serve.Instance
+	// managed marks instances the autoscaler spun up — the only ones a
+	// shrink may drain, so the configured base fleet is never scaled
+	// away.
+	managed []bool
+
+	rt    *router
+	admit *TokenBucket
+
+	reqs        []serve.Request
+	lastArrival sim.Time
+
+	rejected, unroutable int
+	// placed counts fresh front-door placements only. Requeues after a
+	// crash increment each instance's own routed count (keeping the
+	// per-instance settled==placed invariant) but not this one, so the
+	// front-door conservation law survives churn.
+	placed   int
+	routeErr error
+
+	// chaos is nil for a static fleet (no autoscale, no faults): the
+	// ledger then never allocates and the Report omits it, keeping
+	// static output bit-identical to the pre-refactor path.
+	chaos        *ChaosStats
+	pendingJoins int
+	lastScale    sim.Time
+	scaled       bool
+}
+
+func (f *fleetSim) fail(err error) {
+	if f.routeErr == nil {
+		f.routeErr = err
+	}
+}
+
+// emitFleet reports a fleet-level event (join, fault, requeue) to the
+// config observer.
+func (f *fleetSim) emitFleet(e serve.Event) {
+	if f.cfg.Observer != nil {
+		f.cfg.Observer(e)
+	}
+}
+
+func (f *fleetSim) frontDoor(now sim.Time, t serve.EventType, req serve.Request, instance string) {
+	if f.cfg.Observer == nil {
+		return
+	}
+	f.cfg.Observer(serve.Event{
+		Time: now, Type: t,
+		RequestID: req.ID, SessionID: req.SessionID, Instance: instance,
+	})
+}
+
+// addInstance constructs an instance on the shared calendar and appends
+// it to the membership view.
+func (f *fleetSim) addInstance(icfg serve.Config, managed bool) (*serve.Instance, error) {
+	if icfg.TTFTSLO == 0 {
+		icfg.TTFTSLO = f.cfg.TTFTSLO
+	}
+	name := fmt.Sprintf("%s#%d", icfg.Platform.Name, len(f.members))
+	if f.cfg.Observer != nil {
+		icfg.Observer = StampInstance(name, f.cfg.Observer, icfg.Observer)
+	}
+	in, err := serve.NewInstance(name, icfg, f.cal)
+	if err != nil {
+		return nil, err
+	}
+	f.members = append(f.members, in)
+	f.managed = append(f.managed, managed)
+	return in, nil
+}
+
+// activeCount counts members still accepting fresh work.
+func (f *fleetSim) activeCount() int {
+	n := 0
+	for _, in := range f.members {
+		if in.Accepting() {
+			n++
+		}
+	}
+	return n
+}
+
+// outstanding sums queued plus running requests across the fleet,
+// draining members included.
+func (f *fleetSim) outstanding() int {
+	n := 0
+	for _, in := range f.members {
+		if in.State() != serve.StateStopped {
+			n += in.Outstanding()
+		}
+	}
+	return n
+}
+
+// sampleFleet records the active-member count in the churn ledger's
+// fleet-size series (called at every membership transition).
+func (f *fleetSim) sampleFleet(now sim.Time) {
+	act := f.activeCount()
+	if act > f.chaos.PeakActive {
+		f.chaos.PeakActive = act
+	}
+	f.chaos.FleetSize = append(f.chaos.FleetSize, serve.SamplePoint{T: now, V: float64(act)})
+}
+
+// route places one front-door arrival.
+func (f *fleetSim) route(now sim.Time, req serve.Request) {
+	if f.routeErr != nil {
+		return
+	}
+	if f.admit != nil && !f.admit.Allow(now) {
+		f.rejected++
+		f.frontDoor(now, serve.EventRejected, req, "")
+		return
+	}
+	idx := f.rt.pick(req, f.members)
+	if idx < 0 {
+		f.unroutable++
+		f.frontDoor(now, serve.EventUnroutable, req, "")
+		return
+	}
+	f.placed++
+	f.frontDoor(now, serve.EventRouted, req, f.members[idx].Name())
+	if err := f.members[idx].Accept(now, req); err != nil {
+		// pick only offers accepting, fitting instances, so Accept
+		// cannot refuse; treat a refusal as the bug it would be.
+		f.fail(fmt.Errorf("cluster: %s refused routed request %d: %w",
+			f.members[idx].Name(), req.ID, err))
+	}
 }
 
 // Simulate runs the fleet over the request stream and returns
 // fleet-level statistics. Requests are routed at their arrival instant
-// against the instances' live scheduler state; the whole simulation is
-// deterministic for a fixed stream and config.
+// against the instances' live scheduler state; the whole simulation —
+// autoscaling and fault injection included — is deterministic for a
+// fixed stream and config.
 func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -83,78 +244,49 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 	copy(reqs, requests)
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
 
-	cal := sim.NewCalendar()
-	instances := make([]*serve.Instance, len(cfg.Instances))
-	for i, icfg := range cfg.Instances {
-		if icfg.TTFTSLO == 0 {
-			icfg.TTFTSLO = cfg.TTFTSLO
-		}
-		name := fmt.Sprintf("%s#%d", icfg.Platform.Name, i)
-		if cfg.Observer != nil {
-			icfg.Observer = StampInstance(name, cfg.Observer, icfg.Observer)
-		}
-		in, err := serve.NewInstance(name, icfg, cal)
-		if err != nil {
+	f := &fleetSim{
+		cfg:         cfg,
+		cal:         sim.NewCalendar(),
+		rt:          newRouter(cfg.Policy, cfg.ShortPrompt),
+		reqs:        reqs,
+		lastArrival: reqs[len(reqs)-1].Arrival,
+	}
+	for _, icfg := range cfg.Instances {
+		if _, err := f.addInstance(icfg, false); err != nil {
 			return nil, err
 		}
-		instances[i] = in
 	}
-
-	rt := newRouter(cfg.Policy, cfg.ShortPrompt)
-	var admit *TokenBucket
 	if cfg.AdmitRatePerSec > 0 {
-		admit = NewTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
+		f.admit = NewTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
 	}
-
-	frontDoor := func(now sim.Time, t serve.EventType, req serve.Request, instance string) {
-		if cfg.Observer == nil {
-			return
+	if cfg.Autoscale != nil || cfg.Faults != nil {
+		f.chaos = &ChaosStats{}
+		f.sampleFleet(0)
+	}
+	if cfg.Autoscale != nil {
+		if err := f.setupAutoscale(); err != nil {
+			return nil, err
 		}
-		cfg.Observer(serve.Event{
-			Time: now, Type: t,
-			RequestID: req.ID, SessionID: req.SessionID, Instance: instance,
-		})
+	}
+	if cfg.Faults != nil {
+		f.setupFaults()
 	}
 
-	var rejected, unroutable int
-	var routeErr error
 	for i := range reqs {
 		req := reqs[i]
-		cal.Schedule(req.Arrival, func(now sim.Time) {
-			if routeErr != nil {
-				return
-			}
-			if admit != nil && !admit.Allow(now) {
-				rejected++
-				frontDoor(now, serve.EventRejected, req, "")
-				return
-			}
-			idx := rt.pick(req, instances)
-			if idx < 0 {
-				unroutable++
-				frontDoor(now, serve.EventUnroutable, req, "")
-				return
-			}
-			frontDoor(now, serve.EventRouted, req, instances[idx].Name())
-			if err := instances[idx].Accept(now, req); err != nil {
-				// pick only offers fitting instances, so Accept cannot
-				// refuse; treat a refusal as the bug it would be.
-				routeErr = fmt.Errorf("cluster: %s refused routed request %d: %w",
-					instances[idx].Name(), req.ID, err)
-			}
-		})
+		f.cal.Schedule(req.Arrival, func(now sim.Time) { f.route(now, req) })
 	}
-	cal.Run()
-	if routeErr != nil {
-		return nil, routeErr
+	f.cal.Run()
+	if f.routeErr != nil {
+		return nil, f.routeErr
 	}
-	for _, in := range instances {
+	for _, in := range f.members {
 		if err := in.Err(); err != nil {
 			return nil, fmt.Errorf("cluster: instance %s: %w", in.Name(), err)
 		}
 	}
 
-	st := assembleStats(cfg, instances, len(reqs), rejected, unroutable)
+	st := f.assembleStats()
 
 	// Conservation invariant: every offered request is accounted for
 	// exactly once — rejected at the door, unroutable, or routed and
@@ -170,6 +302,21 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 		if is.Serve.Requests != is.Routed {
 			return nil, fmt.Errorf("cluster: %s settled %d of %d routed requests",
 				is.Name, is.Serve.Requests, is.Routed)
+		}
+	}
+	if c := st.Chaos; c != nil {
+		// Churn invariants: every crash eviction is requeued or dropped,
+		// and every fresh placement still settles exactly once —
+		// completed, abandoned, or dropped after a crash. Requests
+		// requeued N times settle N+1 times (once per hosting instance),
+		// which the per-instance checks above already balance.
+		if c.Killed != c.Requeued+c.Dropped {
+			return nil, fmt.Errorf("cluster: churn accounting broken: killed %d != requeued %d + dropped %d",
+				c.Killed, c.Requeued, c.Dropped)
+		}
+		if st.Routed != st.Completed+st.Abandoned+c.Dropped {
+			return nil, fmt.Errorf("cluster: churn accounting broken: routed %d != completed %d + abandoned %d + dropped %d",
+				st.Routed, st.Completed, st.Abandoned, c.Dropped)
 		}
 	}
 	return st, nil

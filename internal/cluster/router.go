@@ -102,15 +102,25 @@ func (rt *Router) Pick(req serve.Request, instances []*serve.Instance) int {
 	return rt.r.pick(req, instances)
 }
 
+// Repins counts session-affinity pins moved off departed instances.
+func (rt *Router) Repins() int { return rt.r.repins }
+
 // router holds the mutable routing state: the round-robin cursor and
 // the session→instance pin table. All decisions are deterministic —
 // ties break to the lowest instance index and the session table is only
-// ever read by key, never iterated.
+// ever read by key, never iterated. The instance slice a pick sees may
+// grow between calls (autoscale joins) and instances in it may have
+// stopped accepting (drains, crashes); every policy filters on
+// Accepting, so membership is effectively mutable without the slice
+// ever reindexing.
 type router struct {
 	policy      Policy
 	shortPrompt int64
 	next        int
 	sessions    map[int64]int
+	// repins counts session pins moved because their target instance
+	// stopped accepting — the churn ledger's session-affinity entry.
+	repins int
 }
 
 func newRouter(policy Policy, shortPrompt int64) *router {
@@ -130,7 +140,7 @@ func (r *router) pick(req serve.Request, instances []*serve.Instance) int {
 		n := len(instances)
 		for k := 0; k < n; k++ {
 			idx := (r.next + k) % n
-			if instances[idx].Fits(req) {
+			if instances[idx].Accepting() && instances[idx].Fits(req) {
 				r.next = (idx + 1) % n
 				return idx
 			}
@@ -140,8 +150,22 @@ func (r *router) pick(req serve.Request, instances []*serve.Instance) int {
 		return leastBy(req, instances, func(in *serve.Instance) float64 { return in.KVPressure() })
 	case SessionAffinity:
 		if req.SessionID != 0 {
-			if idx, ok := r.sessions[req.SessionID]; ok && instances[idx].Fits(req) {
-				return idx
+			if idx, ok := r.sessions[req.SessionID]; ok {
+				if instances[idx].Accepting() && instances[idx].Fits(req) {
+					return idx
+				}
+				// The pin target departed (drained, crashed) or cannot
+				// fit this turn: fall back to the policy's secondary
+				// choice and re-pin the session there, counting the move
+				// when churn caused it.
+				nidx := leastOutstanding(req, instances)
+				if nidx >= 0 {
+					r.sessions[req.SessionID] = nidx
+					if !instances[idx].Accepting() {
+						r.repins++
+					}
+				}
+				return nidx
 			}
 			idx := leastOutstanding(req, instances)
 			if idx >= 0 {
@@ -179,13 +203,13 @@ func leastOutstanding(req serve.Request, instances []*serve.Instance) int {
 	return leastBy(req, instances, func(in *serve.Instance) float64 { return float64(in.Outstanding()) })
 }
 
-// leastBy returns the fitting instance minimizing score, ties to the
-// lowest index; a negative score excludes the instance. Returns -1 when
-// nothing qualifies.
+// leastBy returns the accepting, fitting instance minimizing score,
+// ties to the lowest index; a negative score excludes the instance.
+// Returns -1 when nothing qualifies.
 func leastBy(req serve.Request, instances []*serve.Instance, score func(*serve.Instance) float64) int {
 	best, bestScore := -1, 0.0
 	for i, in := range instances {
-		if !in.Fits(req) {
+		if !in.Accepting() || !in.Fits(req) {
 			continue
 		}
 		s := score(in)

@@ -59,21 +59,58 @@ type Stats struct {
 	LoadImbalance float64
 
 	Instances []InstanceStats
+
+	// Chaos ledgers fleet churn — autoscale actions, injected faults,
+	// and the disposition of every crash-evicted request. Nil (and
+	// omitted from JSON) for static fleets, so reports without an
+	// autoscale/faults section stay bit-identical to the static path.
+	// When present, the headline Goodput above is goodput under chaos.
+	Chaos *ChaosStats `json:",omitempty"`
+}
+
+// ChaosStats is the churn ledger of a dynamic fleet. Counters balance
+// exactly: Killed == Requeued + Dropped, and the fleet's fresh
+// placements == Completed + Abandoned + Dropped.
+type ChaosStats struct {
+	// Joins / Drains count autoscale grow and shrink actions.
+	Joins  int
+	Drains int
+	// Crashes / SlowNodes / DegradedLinks count injected faults that
+	// actually fired (random crashes skipped to keep the last instance
+	// alive do not count; link faults apply to disaggregated fleets
+	// only).
+	Crashes       int
+	SlowNodes     int
+	DegradedLinks int
+	// Killed counts in-flight requests evicted by crashes; each is then
+	// exactly one of Requeued (re-placed through the router) or Dropped
+	// (no accepting instance could ever fit it).
+	Killed   int
+	Requeued int
+	Dropped  int
+	// Repins counts session-affinity pins moved off departed instances.
+	Repins int
+	// PeakActive / FinalActive bound the fleet-size trajectory;
+	// FleetSize samples the active-member count at every membership
+	// transition (start, join, drain, crash).
+	PeakActive  int
+	FinalActive int
+	FleetSize   []serve.SamplePoint
 }
 
 // assembleStats pools per-instance results into fleet-level statistics.
-func assembleStats(cfg Config, instances []*serve.Instance, offered, rejected, unroutable int) *Stats {
+func (f *fleetSim) assembleStats() *Stats {
 	st := &Stats{
-		RouterPolicy: cfg.Policy.String(),
-		Offered:      offered,
-		Rejected:     rejected,
-		Unroutable:   unroutable,
+		RouterPolicy: f.cfg.Policy.String(),
+		Offered:      len(f.reqs),
+		Rejected:     f.rejected,
+		Unroutable:   f.unroutable,
+		Routed:       f.placed,
 	}
 	var ttfts, tpots, e2es []sim.Time
 	var tokensOut int64
-	for _, in := range instances {
+	for _, in := range f.members {
 		is := in.Stats()
-		st.Routed += in.Routed()
 		st.Completed += is.Completed
 		st.Abandoned += is.Abandoned
 		st.Preemptions += is.Preemptions
@@ -109,12 +146,17 @@ func assembleStats(cfg Config, instances []*serve.Instance, offered, rejected, u
 		st.Throughput = float64(st.Completed) / sec
 		st.TokensPerSec = float64(tokensOut) / sec
 	}
-	st.SLOAttainment, st.Goodput = serve.SLOGoodput(ttfts, cfg.TTFTSLO, st.Horizon, st.Throughput)
+	st.SLOAttainment, st.Goodput = serve.SLOGoodput(ttfts, f.cfg.TTFTSLO, st.Horizon, st.Throughput)
 	counts := make([]int, len(st.Instances))
 	for i, is := range st.Instances {
 		counts[i] = is.Routed
 	}
 	st.LoadImbalance = ImbalanceCV(counts)
+	if f.chaos != nil {
+		f.chaos.Repins = f.rt.repins
+		f.chaos.FinalActive = f.activeCount()
+		st.Chaos = f.chaos
+	}
 	return st
 }
 

@@ -1,0 +1,388 @@
+package disagg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/skipsim/skip/internal/cluster"
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// Fleet churn for disaggregated serving: the autoscale controller and
+// fault injector mirror cluster's (same signals, same hysteresis, same
+// seeded-random crash plan) but act on role pools — the controller
+// scales one pool, a crash victim's evictions re-route through the pool
+// that matches their progress, and link faults degrade one (src,dst)
+// transfer link's bandwidth.
+
+// activeCount counts members still accepting fresh work.
+func (d *dsim) activeCount() int {
+	n := 0
+	for _, m := range d.members {
+		if m.in.Accepting() {
+			n++
+		}
+	}
+	return n
+}
+
+// outstanding sums queued plus running requests across non-stopped
+// members, draining ones included.
+func (d *dsim) outstanding() int {
+	n := 0
+	for _, m := range d.members {
+		if m.in.State() != serve.StateStopped {
+			n += m.in.Outstanding()
+		}
+	}
+	return n
+}
+
+// sampleFleet records the active-member count in the churn ledger's
+// fleet-size series (called at every membership transition).
+func (d *dsim) sampleFleet(now sim.Time) {
+	act := d.activeCount()
+	if act > d.chaos.PeakActive {
+		d.chaos.PeakActive = act
+	}
+	d.chaos.FleetSize = append(d.chaos.FleetSize, serve.SamplePoint{T: now, V: float64(act)})
+}
+
+// inPool reports whether a member serves a role pool (RoleBoth members
+// serve both).
+func inPool(m member, role Role) bool {
+	switch role {
+	case RolePrefill:
+		return m.role != RoleDecode
+	case RoleDecode:
+		return m.role != RolePrefill
+	default:
+		return true
+	}
+}
+
+// poolActive counts accepting members of a role pool.
+func (d *dsim) poolActive(role Role) int {
+	n := 0
+	for _, m := range d.members {
+		if inPool(m, role) && m.in.Accepting() {
+			n++
+		}
+	}
+	return n
+}
+
+// poolOutstanding sums queued plus running requests over a role pool's
+// non-stopped members.
+func (d *dsim) poolOutstanding(role Role) int {
+	n := 0
+	for _, m := range d.members {
+		if inPool(m, role) && m.in.State() != serve.StateStopped {
+			n += m.in.Outstanding()
+		}
+	}
+	return n
+}
+
+// setupAutoscale validates the template eagerly (a broken template must
+// fail the run at setup, not mid-simulation at first spin-up), resolves
+// the controller knobs, and arms the first tick.
+func (d *dsim) setupAutoscale() error {
+	a := d.cfg.Autoscale
+	if _, err := serve.NewInstance("autoscale-template", a.Template, sim.NewCalendar()); err != nil {
+		return fmt.Errorf("disagg: autoscale template: %w", err)
+	}
+	d.asInterval, d.asCooldown, d.asSpinUp, d.asWindow = a.Resolve()
+	d.cal.Schedule(d.asInterval, d.scaleTick)
+	return nil
+}
+
+// scaleTick is one controller period: evaluate the signal (unless
+// cooling down), act, and re-arm while the simulation still has work —
+// pending KV transfers included, so a tick chain never outlives the
+// workload nor abandons a cache on the wire.
+func (d *dsim) scaleTick(now sim.Time) {
+	if d.simErr != nil {
+		return
+	}
+	if !d.scaled || now-d.lastScale >= d.asCooldown {
+		d.scaleDecide(now)
+	}
+	if now < d.lastArrival || d.outstanding() > 0 || d.pendingJoins > 0 || d.pendingTransfers > 0 {
+		d.cal.Schedule(now+d.asInterval, d.scaleTick)
+	}
+}
+
+// scaleDecide evaluates the signal against its setpoint with the same
+// hysteresis bands as cluster's controller and triggers at most one
+// action on the scaled pool.
+func (d *dsim) scaleDecide(now sim.Time) {
+	a := d.cfg.Autoscale
+	var grow, shrink bool
+	switch a.Signal {
+	case cluster.SignalSLOAttainment:
+		met, total := 0, 0
+		for _, m := range d.members {
+			if m.in.State() != serve.StateStopped {
+				mm, t := m.in.SLOWindow(d.asWindow)
+				met, total = met+mm, total+t
+			}
+		}
+		if total == 0 {
+			return // no samples yet: no signal
+		}
+		att := float64(met) / float64(total)
+		grow = att < a.Target
+		shrink = att >= (1+a.Target)/2
+	case cluster.SignalTransferQueue:
+		// Transfer pressure starves decode capacity: the signal is
+		// caches on the wire (or queued for it) per active
+		// decode-capable instance, whichever pool the controller scales.
+		act := d.poolActive(RoleDecode)
+		if act == 0 {
+			grow = true
+			break
+		}
+		depth := float64(d.pendingTransfers) / float64(act)
+		grow = depth > a.Target
+		shrink = depth < a.Target/2
+	default: // SignalQueueDepth over the scaled pool
+		act := d.poolActive(d.cfg.AutoscaleRole)
+		if act == 0 {
+			grow = true
+			break
+		}
+		depth := float64(d.poolOutstanding(d.cfg.AutoscaleRole)) / float64(act)
+		grow = depth > a.Target
+		shrink = depth < a.Target/2
+	}
+	switch {
+	case grow:
+		d.grow(now)
+	case shrink:
+		d.shrink(now)
+	}
+}
+
+// grow schedules one instance join after the spin-up delay.
+func (d *dsim) grow(now sim.Time) {
+	if d.poolActive(d.cfg.AutoscaleRole)+d.pendingJoins >= d.cfg.Autoscale.Max {
+		return
+	}
+	d.pendingJoins++
+	d.lastScale, d.scaled = now, true
+	d.cal.Schedule(now+d.asSpinUp, d.join)
+}
+
+// join lands a spun-up instance in the scaled pool.
+func (d *dsim) join(now sim.Time) {
+	d.pendingJoins--
+	if d.simErr != nil {
+		return
+	}
+	in, err := d.addMember(d.cfg.Autoscale.Template, d.cfg.AutoscaleRole, true)
+	if err != nil {
+		d.fail(fmt.Errorf("disagg: autoscale join: %w", err))
+		return
+	}
+	d.chaos.Joins++
+	d.emitFleet(serve.Event{Time: now, Type: serve.EventInstanceJoin, Instance: in.Name()})
+	d.sampleFleet(now)
+}
+
+// shrink drains the highest-index accepting instance the controller
+// added. The base fleet is never drained, and the scaled pool's last
+// active member never leaves.
+func (d *dsim) shrink(now sim.Time) {
+	a := d.cfg.Autoscale
+	act := d.poolActive(d.cfg.AutoscaleRole)
+	if act <= 1 || act <= a.Min {
+		return
+	}
+	for i := len(d.members) - 1; i >= 0; i-- {
+		if d.members[i].managed && d.members[i].in.Accepting() {
+			d.lastScale, d.scaled = now, true
+			d.chaos.Drains++
+			d.members[i].in.Drain(now) // emits drain-start via the stamped observer
+			d.sampleFleet(now)
+			return
+		}
+	}
+}
+
+// setupFaults schedules the whole fault plan before the calendar runs,
+// exactly like cluster's injector.
+func (d *dsim) setupFaults() {
+	fc := d.cfg.Faults
+	for _, ft := range fc.Faults {
+		ft := ft
+		d.cal.Schedule(ft.At, func(now sim.Time) { d.injectFault(now, ft) })
+	}
+	if fc.CrashRatePerSec > 0 {
+		rng := rand.New(rand.NewSource(fc.Seed))
+		var t float64 // seconds
+		for {
+			t += rng.ExpFloat64() / fc.CrashRatePerSec
+			at := sim.Time(t * 1e9)
+			if at > d.lastArrival {
+				break
+			}
+			pick := rng.Uint64()
+			d.cal.Schedule(at, func(now sim.Time) { d.randomCrash(now, pick) })
+		}
+	}
+}
+
+// injectFault applies one scheduled fault. Targets that do not exist at
+// fire time — or already stopped — make the fault a deterministic
+// no-op.
+func (d *dsim) injectFault(now sim.Time, ft cluster.Fault) {
+	if d.simErr != nil {
+		return
+	}
+	if ft.Target >= len(d.members) {
+		return
+	}
+	m := d.members[ft.Target]
+	if ft.Kind == cluster.FaultLinkDegrade {
+		if ft.Dst >= len(d.members) {
+			return
+		}
+		d.linkSlow[[2]int{ft.Target, ft.Dst}] = ft.Factor
+		d.chaos.DegradedLinks++
+		d.emitFleet(serve.Event{
+			Time: now, Type: serve.EventFaultInjected,
+			Link:   m.in.Name() + "→" + d.members[ft.Dst].in.Name(),
+			Detail: fmt.Sprintf("link-degraded ×%g", ft.Factor),
+		})
+		return
+	}
+	if m.in.State() == serve.StateStopped {
+		return
+	}
+	switch ft.Kind {
+	case cluster.FaultCrash:
+		d.crash(now, ft.Target)
+	case cluster.FaultSlowNode:
+		if err := m.in.SetSlowFactor(ft.Factor); err != nil {
+			d.fail(err)
+			return
+		}
+		d.chaos.SlowNodes++
+		d.emitFleet(serve.Event{
+			Time: now, Type: serve.EventFaultInjected,
+			Instance: m.in.Name(), Detail: fmt.Sprintf("slow-node ×%g", ft.Factor),
+		})
+	}
+}
+
+// randomCrash fires one seeded-random crash: the victim is drawn from
+// the members still standing via the pre-drawn pick, and the crash is
+// skipped when the fleet could not survive it.
+func (d *dsim) randomCrash(now sim.Time, pick uint64) {
+	if d.simErr != nil {
+		return
+	}
+	var cands []int
+	for i, m := range d.members {
+		if m.in.State() != serve.StateStopped {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	v := cands[int(pick%uint64(len(cands)))]
+	if !d.survivable(v) {
+		return
+	}
+	d.crash(now, v)
+}
+
+// survivable reports whether killing victim still leaves both pools an
+// accepting member — chaos tests the fleet, it does not end the
+// service.
+func (d *dsim) survivable(victim int) bool {
+	for _, role := range []Role{RolePrefill, RoleDecode} {
+		n := 0
+		for i, m := range d.members {
+			if i != victim && inPool(m, role) && m.in.Accepting() {
+				n++
+			}
+		}
+		if n == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// crash kills one member and re-routes everything it was serving.
+func (d *dsim) crash(now sim.Time, idx int) {
+	m := d.members[idx]
+	d.chaos.Crashes++
+	d.emitFleet(serve.Event{
+		Time: now, Type: serve.EventFaultInjected,
+		Instance: m.in.Name(), Detail: "crash",
+	})
+	evs := m.in.Kill(now) // emits instance-gone via the stamped observer
+	d.chaos.Killed += len(evs)
+	d.sampleFleet(now)
+	for _, ev := range evs {
+		d.requeue(now, ev)
+	}
+}
+
+// requeue re-places one crash-evicted request through the pool matching
+// its progress. A victim whose first token was never served goes back
+// through the prefill front door — and hands off again if it lands on a
+// prefill-only instance — while a mid-stream victim re-runs on the
+// decode pool, recomputing its prompt locally exactly as a post-resume
+// preemption would. Either way the routed request carries its resolved
+// lengths so the fit check is exact.
+func (d *dsim) requeue(now sim.Time, ev serve.Evicted) {
+	if d.simErr != nil {
+		return
+	}
+	req := ev.Req
+	req.PromptLen, req.OutputLen = ev.PromptLen, ev.OutputLen
+	if !ev.HasFirst {
+		p := d.prefillRouter.Pick(req, d.prefillPool)
+		if p < 0 {
+			d.chaos.Dropped++
+			d.emit(now, serve.EventUnroutable, req, "", "")
+			return
+		}
+		src := d.prefillIdx[p]
+		m := d.members[src]
+		var err error
+		if m.role == RoleBoth {
+			err = m.in.AcceptRequeued(now, ev)
+		} else {
+			err = m.in.AcceptRequeuedPrefill(now, ev, func(at sim.Time, h serve.Handoff) {
+				d.handoff(at, src, h)
+			})
+		}
+		if err != nil {
+			d.fail(fmt.Errorf("disagg: %s refused requeued request %d: %w", m.in.Name(), req.ID, err))
+			return
+		}
+		d.chaos.Requeued++
+		d.emit(now, serve.EventRequeued, req, m.in.Name(), "")
+		return
+	}
+	p := d.decodeRouter.Pick(req, d.decodePool)
+	if p < 0 {
+		d.chaos.Dropped++
+		d.emit(now, serve.EventUnroutable, req, "", "")
+		return
+	}
+	dst := d.members[d.decodeIdx[p]]
+	if err := dst.in.AcceptRequeued(now, ev); err != nil {
+		d.fail(fmt.Errorf("disagg: %s refused requeued request %d: %w", dst.in.Name(), req.ID, err))
+		return
+	}
+	d.chaos.Requeued++
+	d.emit(now, serve.EventRequeued, req, dst.in.Name(), "")
+}

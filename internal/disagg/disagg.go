@@ -115,6 +115,21 @@ type Config struct {
 	// source→destination link), and every instance's lifecycle events
 	// with the instance name stamped in.
 	Observer serve.Observer
+	// Autoscale, when set, grows and shrinks the AutoscaleRole pool
+	// against a load signal while the simulation runs; disaggregated
+	// fleets additionally support the transfer-queue signal (pending KV
+	// transfers per active decode-capable instance). Nil keeps the
+	// fleet static — the pre-refactor behavior, bit for bit.
+	Autoscale *cluster.AutoscaleConfig
+	// AutoscaleRole names the pool the controller scales. The zero value
+	// is RoleBoth (spun-up instances serve end to end); the spec front
+	// door defaults to "decode" instead — decode capacity is what
+	// transfer pressure starves.
+	AutoscaleRole Role
+	// Faults, when set, injects crashes, slow-node multipliers, and
+	// degraded-link faults (see cluster.FaultsConfig; Target and Dst
+	// index the flattened member list in group order).
+	Faults *cluster.FaultsConfig
 }
 
 func (c *Config) validate() error {
@@ -125,12 +140,17 @@ func (c *Config) validate() error {
 		return fmt.Errorf("disagg: config needs at least one group")
 	}
 	// KV handoffs originate only on RolePrefill instances; an all-"both"
-	// fleet never transfers and needs no priceable link.
+	// fleet never transfers and needs no priceable link. Autoscaled
+	// prefill instances count: the controller can mint handoff sources
+	// mid-run.
 	var transfersPossible bool
 	for _, g := range c.Groups {
 		if g.Role == RolePrefill {
 			transfersPossible = true
 		}
+	}
+	if c.Autoscale != nil && c.AutoscaleRole == RolePrefill {
+		transfersPossible = true
 	}
 	var prefillable, decodable int
 	for i, g := range c.Groups {
@@ -168,18 +188,263 @@ func (c *Config) validate() error {
 	if c.AdmitRatePerSec < 0 {
 		return fmt.Errorf("disagg: admission rate must be non-negative, got %g", c.AdmitRatePerSec)
 	}
+	if c.Autoscale != nil {
+		if err := c.Autoscale.Validate(); err != nil {
+			return err
+		}
+		// An autoscaled instance can be a transfer endpoint too (source
+		// when scaling prefill, destination when scaling decode or both),
+		// so its platform faces the same zero-bandwidth trap as the base
+		// groups.
+		if transfersPossible && c.Transfer.BandwidthGBps == 0 && c.Autoscale.Template.Platform.IC.BandwidthGBps <= 0 {
+			return fmt.Errorf("disagg: autoscale template platform %q has no interconnect bandwidth to price KV transfers; set Transfer.BandwidthGBps or give the platform a positive IC bandwidth", c.Autoscale.Template.Platform.Name)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(true); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// member is one instance with its disaggregation role.
+// member is one instance with its disaggregation role; managed marks
+// members the autoscaler added (the only ones a shrink may drain).
 type member struct {
-	in   *serve.Instance
-	role Role
+	in      *serve.Instance
+	role    Role
+	managed bool
+}
+
+// dsim is one in-flight disaggregated simulation: the shared calendar,
+// the mutable membership view with its role pools, the per-link
+// transfer state, and the churn ledger. Like cluster's fleetSim,
+// membership is index-stable — members and pools only grow, departed
+// instances stay in place as Stopped and are filtered by the routers'
+// Accepting checks.
+type dsim struct {
+	cfg Config
+	cal *sim.Calendar
+
+	members     []member
+	prefillPool []*serve.Instance
+	prefillIdx  []int // pool position → member index
+	decodePool  []*serve.Instance
+	decodeIdx   []int
+
+	prefillRouter, decodeRouter *cluster.Router
+	admit                       *cluster.TokenBucket
+
+	bytesPerTok float64
+	// links maps a (src,dst) member pair to its busy-until instant
+	// (FIFO per link); linkSlow carries degraded-link fault divisors.
+	links    map[[2]int]sim.Time
+	linkSlow map[[2]int]float64
+
+	reqs        []serve.Request
+	lastArrival sim.Time
+
+	rejected, unroutable int
+	// placed counts fresh front-door placements only (requeues
+	// increment the hosting instance's own routed count instead), so
+	// the front-door ledger survives churn.
+	placed                   int
+	transferDrops, transfers int
+	// pendingTransfers counts caches on the wire or queued for it —
+	// the transfer-queue autoscale signal.
+	pendingTransfers               int
+	bytesMoved                     float64
+	wireTotal, stallTotal, wireMax sim.Time
+	simErr                         error
+
+	// chaos is nil for a static fleet, keeping static reports
+	// bit-identical to the pre-refactor path.
+	chaos        *cluster.ChaosStats
+	pendingJoins int
+	lastScale    sim.Time
+	scaled       bool
+	// Resolved autoscale knobs (defaults applied at setup).
+	asInterval, asCooldown, asSpinUp sim.Time
+	asWindow                         int
+}
+
+func (d *dsim) fail(err error) {
+	if d.simErr == nil {
+		d.simErr = err
+	}
+}
+
+func (d *dsim) emit(now sim.Time, t serve.EventType, req serve.Request, instance, link string) {
+	if d.cfg.Observer == nil {
+		return
+	}
+	d.cfg.Observer(serve.Event{
+		Time: now, Type: t,
+		RequestID: req.ID, SessionID: req.SessionID,
+		Instance: instance, Link: link,
+	})
+}
+
+func (d *dsim) emitFleet(e serve.Event) {
+	if d.cfg.Observer != nil {
+		d.cfg.Observer(e)
+	}
+}
+
+// addMember constructs an instance on the shared calendar and slots it
+// into the membership view and its role pools.
+func (d *dsim) addMember(icfg serve.Config, role Role, managed bool) (*serve.Instance, error) {
+	if icfg.TTFTSLO == 0 {
+		icfg.TTFTSLO = d.cfg.TTFTSLO
+	}
+	idx := len(d.members)
+	name := fmt.Sprintf("%s/%s#%d", icfg.Platform.Name, role, idx)
+	if d.cfg.Observer != nil {
+		icfg.Observer = cluster.StampInstance(name, d.cfg.Observer, icfg.Observer)
+	}
+	in, err := serve.NewInstance(name, icfg, d.cal)
+	if err != nil {
+		return nil, err
+	}
+	d.members = append(d.members, member{in: in, role: role, managed: managed})
+	if role != RoleDecode {
+		d.prefillPool = append(d.prefillPool, in)
+		d.prefillIdx = append(d.prefillIdx, idx)
+	}
+	if role != RolePrefill {
+		d.decodePool = append(d.decodePool, in)
+		d.decodeIdx = append(d.decodeIdx, idx)
+	}
+	return in, nil
+}
+
+// wireTime prices one transfer, degraded-link faults applied.
+func (d *dsim) wireTime(src, dst int, bytes float64) sim.Time {
+	wire := d.cfg.Transfer.Time(d.members[src].in.Platform(), d.members[dst].in.Platform(), bytes)
+	if f, ok := d.linkSlow[[2]int{src, dst}]; ok {
+		wire = sim.Time(float64(wire) * f)
+	}
+	return wire
+}
+
+// ship moves one handoff's cache from src to dst: the transfer starts
+// when the (src,dst) link frees (FIFO per link) and occupies it for the
+// full wire time; the request lands after the exposed tail — with
+// overlap, decode starts before the last bytes arrive.
+func (d *dsim) ship(now sim.Time, src, dst int, h serve.Handoff, bytes float64) {
+	dstIn := d.members[dst].in
+	wire := d.wireTime(src, dst, bytes)
+	key := [2]int{src, dst}
+	start := now
+	if d.links[key] > start {
+		start = d.links[key]
+	}
+	done := start + wire
+	d.links[key] = done
+	land := start + d.cfg.Transfer.Exposed(wire)
+	d.transfers++
+	d.pendingTransfers++
+	d.bytesMoved += bytes
+	d.wireTotal += wire
+	d.stallTotal += land - now
+	if wire > d.wireMax {
+		d.wireMax = wire
+	}
+	link := d.members[src].in.Name() + "→" + dstIn.Name()
+	srcName := d.members[src].in.Name()
+	d.cal.Schedule(start, func(at sim.Time) {
+		d.emit(at, serve.EventKVTransferStart, h.Req, srcName, link)
+	})
+	d.cal.Schedule(land, func(at sim.Time) { d.land(at, src, dst, h, bytes, link) })
+}
+
+// land completes one transfer: the request resumes on its destination,
+// or — when the destination died while the cache was on the wire — the
+// still-staged cache re-ships from the source to a freshly picked
+// decode instance (a reported drop when none remains).
+func (d *dsim) land(at sim.Time, src, dst int, h serve.Handoff, bytes float64, link string) {
+	if d.simErr != nil {
+		return
+	}
+	d.pendingTransfers--
+	dstIn := d.members[dst].in
+	if dstIn.State() == serve.StateStopped {
+		hr := h.Req
+		hr.PromptLen, hr.OutputLen = h.PromptLen, h.OutputLen
+		nd := d.decodeRouter.Pick(hr, d.decodePool)
+		if nd < 0 {
+			d.transferDrops++
+			d.emit(at, serve.EventUnroutable, h.Req, d.members[src].in.Name(), "")
+			return
+		}
+		d.ship(at, src, d.decodeIdx[nd], h, bytes)
+		return
+	}
+	d.emit(at, serve.EventKVTransferDone, h.Req, dstIn.Name(), link)
+	if err := dstIn.Resume(at, h); err != nil {
+		// Pick only offers instances that fit, draining destinations
+		// still honor committed transfers, and dead ones re-route
+		// above, so Resume cannot refuse; treat a refusal as the bug it
+		// would be.
+		d.fail(fmt.Errorf("disagg: %s refused resumed request %d: %w", dstIn.Name(), h.Req.ID, err))
+	}
+}
+
+// handoff places one completed prefill on the decode pool.
+func (d *dsim) handoff(now sim.Time, src int, h serve.Handoff) {
+	if d.simErr != nil {
+		return
+	}
+	hr := h.Req
+	hr.PromptLen, hr.OutputLen = h.PromptLen, h.OutputLen
+	p := d.decodeRouter.Pick(hr, d.decodePool)
+	if p < 0 {
+		// No decode instance can ever hold this request: the prefill
+		// work is lost and the drop is reported in the ledger.
+		d.transferDrops++
+		d.emit(now, serve.EventUnroutable, h.Req, d.members[src].in.Name(), "")
+		return
+	}
+	d.ship(now, src, d.decodeIdx[p], h, float64(h.KVLen)*d.bytesPerTok)
+}
+
+// route places one front-door arrival on the prefill pool.
+func (d *dsim) route(now sim.Time, req serve.Request) {
+	if d.simErr != nil {
+		return
+	}
+	if d.admit != nil && !d.admit.Allow(now) {
+		d.rejected++
+		d.emit(now, serve.EventRejected, req, "", "")
+		return
+	}
+	p := d.prefillRouter.Pick(req, d.prefillPool)
+	if p < 0 {
+		d.unroutable++
+		d.emit(now, serve.EventUnroutable, req, "", "")
+		return
+	}
+	src := d.prefillIdx[p]
+	m := d.members[src]
+	d.placed++
+	d.emit(now, serve.EventRouted, req, m.in.Name(), "")
+	var err error
+	if m.role == RoleBoth {
+		err = m.in.Accept(now, req)
+	} else {
+		err = m.in.AcceptPrefill(now, req, func(at sim.Time, h serve.Handoff) {
+			d.handoff(at, src, h)
+		})
+	}
+	if err != nil {
+		d.fail(fmt.Errorf("disagg: %s refused routed request %d: %w", m.in.Name(), req.ID, err))
+	}
 }
 
 // Simulate runs the disaggregated fleet over the request stream and
 // returns fleet statistics with an exactly reconciled ledger. The whole
-// simulation is deterministic for a fixed stream and config.
+// simulation — autoscaling and fault injection included — is
+// deterministic for a fixed stream and config.
 func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -191,173 +456,80 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 	copy(reqs, requests)
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
 
-	cal := sim.NewCalendar()
-	var members []member
-	idx := 0
+	d := &dsim{
+		cfg:         cfg,
+		cal:         sim.NewCalendar(),
+		bytesPerTok: serve.KVBytesPerToken(cfg.Base.Model),
+		links:       make(map[[2]int]sim.Time),
+		linkSlow:    make(map[[2]int]float64),
+		reqs:        reqs,
+		lastArrival: reqs[len(reqs)-1].Arrival,
+	}
 	for _, g := range cfg.Groups {
 		for k := 0; k < g.Count; k++ {
 			icfg := cfg.Base
 			icfg.Platform = g.Platform
-			if icfg.TTFTSLO == 0 {
-				icfg.TTFTSLO = cfg.TTFTSLO
-			}
-			name := fmt.Sprintf("%s/%s#%d", g.Platform.Name, g.Role, idx)
-			if cfg.Observer != nil {
-				icfg.Observer = cluster.StampInstance(name, cfg.Observer, icfg.Observer)
-			}
-			in, err := serve.NewInstance(name, icfg, cal)
-			if err != nil {
+			if _, err := d.addMember(icfg, g.Role, false); err != nil {
 				return nil, err
 			}
-			members = append(members, member{in: in, role: g.Role})
-			idx++
 		}
 	}
-
-	// The pools: prefill-capable instances face the front door,
-	// decode-capable ones absorb handoffs. RoleBoth members sit in both.
-	var prefillPool, decodePool []*serve.Instance
-	var prefillIdx, decodeIdx []int // pool position → member index
-	for i, m := range members {
-		if m.role != RoleDecode {
-			prefillPool = append(prefillPool, m.in)
-			prefillIdx = append(prefillIdx, i)
-		}
-		if m.role != RolePrefill {
-			decodePool = append(decodePool, m.in)
-			decodeIdx = append(decodeIdx, i)
-		}
-	}
-
-	prefillRouter := cluster.NewRouter(cfg.PrefillPolicy, cfg.ShortPrompt)
-	decodeRouter := cluster.NewRouter(cfg.DecodePolicy, cfg.ShortPrompt)
-	var admit *cluster.TokenBucket
+	d.prefillRouter = cluster.NewRouter(cfg.PrefillPolicy, cfg.ShortPrompt)
+	d.decodeRouter = cluster.NewRouter(cfg.DecodePolicy, cfg.ShortPrompt)
 	if cfg.AdmitRatePerSec > 0 {
-		admit = cluster.NewTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
+		d.admit = cluster.NewTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
 	}
-
-	emit := func(now sim.Time, t serve.EventType, req serve.Request, instance, link string) {
-		if cfg.Observer == nil {
-			return
-		}
-		cfg.Observer(serve.Event{
-			Time: now, Type: t,
-			RequestID: req.ID, SessionID: req.SessionID,
-			Instance: instance, Link: link,
-		})
+	if cfg.Autoscale != nil || cfg.Faults != nil {
+		d.chaos = &cluster.ChaosStats{}
+		d.sampleFleet(0)
 	}
-
-	bytesPerTok := serve.KVBytesPerToken(cfg.Base.Model)
-	links := make(map[[2]int]sim.Time) // (src,dst) member pair → busy-until
-	var rejected, unroutable, transferDrops, transfers int
-	var bytesMoved float64
-	var wireTotal, stallTotal, wireMax sim.Time
-	var simErr error
-
-	// handoff places one completed prefill on the decode pool and ships
-	// its KV cache over the (src, dst) link: the transfer starts when
-	// the link frees (FIFO per link) and the request resumes the instant
-	// the cache lands.
-	handoff := func(now sim.Time, src int, h serve.Handoff) {
-		if simErr != nil {
-			return
+	if cfg.Autoscale != nil {
+		if err := d.setupAutoscale(); err != nil {
+			return nil, err
 		}
-		hr := h.Req
-		hr.PromptLen, hr.OutputLen = h.PromptLen, h.OutputLen
-		d := decodeRouter.Pick(hr, decodePool)
-		if d < 0 {
-			// No decode instance can ever hold this request: the prefill
-			// work is lost and the drop is reported in the ledger.
-			transferDrops++
-			emit(now, serve.EventUnroutable, h.Req, members[src].in.Name(), "")
-			return
-		}
-		dst := decodeIdx[d]
-		dstIn := members[dst].in
-		bytes := float64(h.KVLen) * bytesPerTok
-		wire := cfg.Transfer.Time(members[src].in.Platform(), dstIn.Platform(), bytes)
-		key := [2]int{src, dst}
-		start := now
-		if links[key] > start {
-			start = links[key]
-		}
-		done := start + wire
-		links[key] = done
-		transfers++
-		bytesMoved += bytes
-		wireTotal += wire
-		stallTotal += done - now
-		if wire > wireMax {
-			wireMax = wire
-		}
-		link := members[src].in.Name() + "→" + dstIn.Name()
-		srcName := members[src].in.Name()
-		cal.Schedule(start, func(at sim.Time) {
-			emit(at, serve.EventKVTransferStart, h.Req, srcName, link)
-		})
-		cal.Schedule(done, func(at sim.Time) {
-			emit(at, serve.EventKVTransferDone, h.Req, dstIn.Name(), link)
-			if err := dstIn.Resume(at, h); err != nil {
-				// Pick only offers instances that fit, so Resume cannot
-				// refuse; treat a refusal as the bug it would be.
-				simErr = fmt.Errorf("disagg: %s refused resumed request %d: %w", dstIn.Name(), h.Req.ID, err)
-			}
-		})
+	}
+	if cfg.Faults != nil {
+		d.setupFaults()
 	}
 
 	for i := range reqs {
 		req := reqs[i]
-		cal.Schedule(req.Arrival, func(now sim.Time) {
-			if simErr != nil {
-				return
-			}
-			if admit != nil && !admit.Allow(now) {
-				rejected++
-				emit(now, serve.EventRejected, req, "", "")
-				return
-			}
-			p := prefillRouter.Pick(req, prefillPool)
-			if p < 0 {
-				unroutable++
-				emit(now, serve.EventUnroutable, req, "", "")
-				return
-			}
-			src := prefillIdx[p]
-			m := members[src]
-			emit(now, serve.EventRouted, req, m.in.Name(), "")
-			var err error
-			if m.role == RoleBoth {
-				err = m.in.Accept(now, req)
-			} else {
-				err = m.in.AcceptPrefill(now, req, func(at sim.Time, h serve.Handoff) {
-					handoff(at, src, h)
-				})
-			}
-			if err != nil {
-				simErr = fmt.Errorf("disagg: %s refused routed request %d: %w", m.in.Name(), req.ID, err)
-			}
-		})
+		d.cal.Schedule(req.Arrival, func(now sim.Time) { d.route(now, req) })
 	}
-	cal.Run()
-	if simErr != nil {
-		return nil, simErr
+	d.cal.Run()
+	if d.simErr != nil {
+		return nil, d.simErr
 	}
-	for _, m := range members {
+	for _, m := range d.members {
 		if err := m.in.Err(); err != nil {
 			return nil, fmt.Errorf("disagg: instance %s: %w", m.in.Name(), err)
 		}
 	}
 
-	st := assembleStats(cfg, members, len(reqs), rejected, unroutable, transferDrops)
-	st.Transfers = transfers
-	st.KVBytesMoved = bytesMoved
-	if transfers > 0 {
-		st.MeanTransfer = wireTotal / sim.Time(transfers)
-		st.MeanTransferStall = stallTotal / sim.Time(transfers)
-		st.MaxTransfer = wireMax
+	st := d.assembleStats()
+	st.Transfers = d.transfers
+	st.KVBytesMoved = d.bytesMoved
+	if d.transfers > 0 {
+		st.MeanTransfer = d.wireTotal / sim.Time(d.transfers)
+		st.MeanTransferStall = d.stallTotal / sim.Time(d.transfers)
+		st.MaxTransfer = d.wireMax
 	}
 	if err := st.reconcile(); err != nil {
 		return nil, err
+	}
+	if c := st.Chaos; c != nil {
+		// Churn invariants: every crash eviction is requeued or dropped,
+		// and every fresh placement still settles exactly once —
+		// completed, abandoned, dropped at transfer, or dropped at
+		// requeue.
+		if c.Killed != c.Requeued+c.Dropped {
+			return nil, fmt.Errorf("disagg: churn accounting broken: killed %d != requeued %d + dropped %d",
+				c.Killed, c.Requeued, c.Dropped)
+		}
+		if st.Routed != st.Completed+st.Abandoned+st.TransferDrops+c.Dropped {
+			return nil, fmt.Errorf("disagg: churn accounting broken: routed %d != completed %d + abandoned %d + transfer-dropped %d + dropped %d",
+				st.Routed, st.Completed, st.Abandoned, st.TransferDrops, c.Dropped)
+		}
 	}
 	return st, nil
 }

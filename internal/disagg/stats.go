@@ -85,24 +85,32 @@ type Stats struct {
 	// placed work (routed + resumed).
 	LoadImbalance float64
 
+	// Chaos is the churn ledger: non-nil only when autoscaling or fault
+	// injection ran, so static reports stay bit-identical to the
+	// pre-refactor output.
+	Chaos *cluster.ChaosStats `json:",omitempty"`
+
 	Instances []InstanceStats
 }
 
 // assembleStats pools per-instance results into fleet-level statistics.
-func assembleStats(cfg Config, members []member, offered, rejected, unroutable, transferDrops int) *Stats {
+func (d *dsim) assembleStats() *Stats {
+	cfg, members := d.cfg, d.members
 	st := &Stats{
 		PrefillPolicy: cfg.PrefillPolicy.String(),
 		DecodePolicy:  cfg.DecodePolicy.String(),
-		Offered:       offered,
-		Rejected:      rejected,
-		Unroutable:    unroutable,
-		TransferDrops: transferDrops,
+		Offered:       len(d.reqs),
+		Rejected:      d.rejected,
+		Unroutable:    d.unroutable,
+		// Routed counts fresh front-door placements; requeues after a
+		// crash show up only in the per-instance routed counts.
+		Routed:        d.placed,
+		TransferDrops: d.transferDrops,
 	}
 	var ttfts, tpots, e2es []sim.Time
 	var tokensOut int64
 	for _, m := range members {
 		is := m.in.Stats()
-		st.Routed += m.in.Routed()
 		st.HandedOff += is.HandedOff
 		st.Resumed += is.Resumed
 		st.Completed += is.Completed
@@ -148,6 +156,11 @@ func assembleStats(cfg Config, members []member, offered, rejected, unroutable, 
 		counts[i] = is.Routed + is.Resumed
 	}
 	st.LoadImbalance = cluster.ImbalanceCV(counts)
+	if d.chaos != nil {
+		d.chaos.Repins = d.prefillRouter.Repins() + d.decodeRouter.Repins()
+		d.chaos.FinalActive = d.activeCount()
+		st.Chaos = d.chaos
+	}
 	return st
 }
 
@@ -167,8 +180,8 @@ func (st *Stats) reconcile() error {
 		is := &st.Instances[i]
 		// Everything an instance was given (routed arrivals + resumed
 		// handoffs) must settle there (completed + abandoned + handed
-		// off).
-		settled := is.Serve.Completed + is.Serve.Abandoned + is.Serve.HandedOff
+		// off + killed in a crash).
+		settled := is.Serve.Completed + is.Serve.Abandoned + is.Serve.HandedOff + is.Serve.Killed
 		if settled != is.Routed+is.Resumed {
 			return fmt.Errorf("disagg: %s settled %d of %d placed requests (routed %d + resumed %d)",
 				is.Name, settled, is.Routed+is.Resumed, is.Routed, is.Resumed)

@@ -43,6 +43,14 @@ type TransferModel struct {
 	// interconnect bandwidth — the what-if knob for sweeping the
 	// crossover between disaggregated and monolithic serving.
 	BandwidthGBps float64
+	// OverlapFraction models chunked/layerwise KV shipping: the decode
+	// instance starts consuming the cache before the tail arrives, so
+	// this fraction of the wire time hides behind decode start. The
+	// link stays occupied for the full wire time (the bytes still
+	// move); only the request's resume instant advances. 0 — the
+	// default — is strict store-and-forward; must stay below 1 (some
+	// wire time is always exposed).
+	OverlapFraction float64
 }
 
 func (tm TransferModel) validate() error {
@@ -52,7 +60,21 @@ func (tm TransferModel) validate() error {
 	if tm.BandwidthGBps < 0 {
 		return fmt.Errorf("disagg: transfer bandwidth must be non-negative, got %g", tm.BandwidthGBps)
 	}
+	if tm.OverlapFraction < 0 || tm.OverlapFraction >= 1 {
+		return fmt.Errorf("disagg: overlap fraction must be in [0,1), got %g", tm.OverlapFraction)
+	}
 	return nil
+}
+
+// Exposed returns the part of a wire time the request actually waits
+// for — the tail not hidden behind decode start. With zero overlap the
+// float round-trip multiplies by exactly 1.0, preserving the wire time
+// bit for bit.
+func (tm TransferModel) Exposed(wire sim.Time) sim.Time {
+	if tm.OverlapFraction == 0 {
+		return wire
+	}
+	return sim.Time(float64(wire) * (1 - tm.OverlapFraction))
 }
 
 // hop returns the host-hop factor for one endpoint.

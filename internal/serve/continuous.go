@@ -79,6 +79,12 @@ type contSim struct {
 	busy        bool
 	kickPending bool
 	err         error
+	// state is the dynamic-fleet lifecycle state (see lifecycle.go);
+	// static simulations stay Active forever.
+	state InstanceState
+	// slowFactor scales iteration durations (slow-node fault; 0 or 1 =
+	// full speed).
+	slowFactor float64
 
 	// accumulators
 	ttfts, tpots, e2es []sim.Time
@@ -86,6 +92,7 @@ type contSim struct {
 	abandoned          int
 	handedOff          int
 	resumed            int
+	killed             int
 	preemptions        int
 	iterations         int
 	totalBatch         int
@@ -238,7 +245,7 @@ func (s *contSim) arrive(now sim.Time, cr *contRequest) {
 // expires. Requests already admitted cancelled this event, so reaching
 // here means cr is in the wait queue.
 func (s *contSim) abandon(now sim.Time, cr *contRequest) {
-	if s.err != nil {
+	if s.err != nil || s.state == StateStopped {
 		return
 	}
 	for i, w := range s.waiting {
@@ -247,6 +254,7 @@ func (s *contSim) abandon(now sim.Time, cr *contRequest) {
 			s.abandoned++
 			s.emit(now, EventAbandoned, cr)
 			s.sample(now)
+			s.maybeFinishDrain(now)
 			return
 		}
 	}
@@ -323,13 +331,14 @@ func (s *contSim) preemptForGrowth(now sim.Time) {
 
 // kick starts the next iteration if the engine is idle and work exists.
 func (s *contSim) kick(now sim.Time) {
-	if s.busy || s.err != nil {
+	if s.busy || s.err != nil || s.state == StateStopped {
 		return
 	}
 	s.admit(now)
 	s.preemptForGrowth(now)
 	s.sample(now)
 	if len(s.running) == 0 {
+		s.maybeFinishDrain(now)
 		return
 	}
 
@@ -373,6 +382,12 @@ func (s *contSim) kick(now sim.Time) {
 		}
 		dur += d
 	}
+	if s.slowFactor > 1 {
+		// A slow-node fault: the whole iteration stretches. Durations are
+		// int64 nanoseconds well under 2^53, so the float round-trip is
+		// exact at factor 1 and deterministic at any factor.
+		dur = sim.Time(float64(dur) * s.slowFactor)
+	}
 
 	s.busy = true
 	s.iterations++
@@ -388,6 +403,11 @@ func (s *contSim) kick(now sim.Time) {
 // finishIteration applies one iteration's outcomes at its end time:
 // prompt progress, emitted tokens, completions, KV growth.
 func (s *contSim) finishIteration(end sim.Time, batch []*contRequest, chunks map[*contRequest]int64) {
+	if s.state == StateStopped {
+		// Killed mid-iteration: the batch was already evicted and
+		// requeued elsewhere; this iteration's outcomes are discarded.
+		return
+	}
 	s.busy = false
 	if s.err != nil {
 		return
@@ -511,10 +531,11 @@ func (s *contSim) sample(now sim.Time) {
 // stats assembles the final Stats from the accumulators.
 func (s *contSim) stats() *Stats {
 	st := &Stats{
-		Requests:        s.completed + s.abandoned + s.handedOff,
+		Requests:        s.completed + s.abandoned + s.handedOff + s.killed,
 		Completed:       s.completed,
 		Abandoned:       s.abandoned,
 		HandedOff:       s.handedOff,
+		Killed:          s.killed,
 		Resumed:         s.resumed,
 		Preemptions:     s.preemptions,
 		Horizon:         s.lastCompletion,

@@ -47,6 +47,27 @@ const (
 	// Total), emitted by the Simulate dispatcher rather than the
 	// scheduler.
 	EventProgress
+	// EventInstanceJoin: a new instance joined the running fleet
+	// (autoscale spin-up; dynamic fleets only). Instance names it;
+	// RequestID is absent.
+	EventInstanceJoin
+	// EventDrainStart: the instance stopped accepting new work and will
+	// leave once its queue and running batch settle (autoscale
+	// shrink; dynamic fleets only).
+	EventDrainStart
+	// EventInstanceGone: the instance left the fleet — a drain ran dry
+	// or a crash killed it outright (dynamic fleets only).
+	EventInstanceGone
+	// EventFaultInjected: the fault plan fired — a crash, a slow-node
+	// latency multiplier, or a degraded transfer link. Detail carries
+	// the fault kind; Instance names the victim (empty for link
+	// faults).
+	EventFaultInjected
+	// EventRequeued: a request evicted by a crash was re-placed on
+	// another instance through the router (dynamic fleets only;
+	// Instance names the new placement). Evictions that fit nowhere
+	// emit EventUnroutable instead and are reported dropped.
+	EventRequeued
 )
 
 func (t EventType) String() string {
@@ -75,6 +96,16 @@ func (t EventType) String() string {
 		return "completed"
 	case EventProgress:
 		return "progress"
+	case EventInstanceJoin:
+		return "instance-join"
+	case EventDrainStart:
+		return "drain-start"
+	case EventInstanceGone:
+		return "instance-gone"
+	case EventFaultInjected:
+		return "fault-injected"
+	case EventRequeued:
+		return "requeued"
 	default:
 		return fmt.Sprintf("event(%d)", int(t))
 	}
@@ -99,15 +130,41 @@ type Event struct {
 	// Link names the source→destination instance pair of a KV transfer
 	// ("" for every other event type).
 	Link string
+	// Detail carries event-specific context: the fault kind for
+	// EventFaultInjected ("crash", "slow-node ×2", "link-degraded ×4"),
+	// "drained" vs "killed" for EventInstanceGone.
+	Detail string
 	// Completed / Total carry the EventProgress payload.
 	Completed int
 	Total     int
+}
+
+// lifecycle reports whether the event describes an instance rather than
+// a request (no RequestID to print).
+func (t EventType) lifecycle() bool {
+	switch t {
+	case EventInstanceJoin, EventDrainStart, EventInstanceGone, EventFaultInjected:
+		return true
+	}
+	return false
 }
 
 func (e Event) String() string {
 	s := fmt.Sprintf("%v %s", e.Time, e.Type)
 	if e.Type == EventProgress {
 		return fmt.Sprintf("%s %d/%d", s, e.Completed, e.Total)
+	}
+	if e.Type.lifecycle() {
+		if e.Instance != "" {
+			s += " @" + e.Instance
+		}
+		if e.Link != "" {
+			s += " link=" + e.Link
+		}
+		if e.Detail != "" {
+			s += " (" + e.Detail + ")"
+		}
+		return s
 	}
 	s += fmt.Sprintf(" req=%d", e.RequestID)
 	if e.SessionID != 0 {

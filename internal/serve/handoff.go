@@ -49,6 +49,9 @@ func (in *Instance) AcceptPrefill(now sim.Time, req Request, fn func(now sim.Tim
 	if fn == nil {
 		return fmt.Errorf("serve: instance %s: AcceptPrefill needs a handoff callback", in.name)
 	}
+	if !in.Accepting() {
+		return fmt.Errorf("serve: instance %s is %s and accepts no new work", in.name, in.s.state)
+	}
 	cr, err := in.s.newRequest(req)
 	if err != nil {
 		return err
@@ -83,6 +86,12 @@ func (in *Instance) FitsHandoff(h Handoff) bool {
 // compute; keep decode pools sized so preemptions stay rare if strict
 // phase isolation matters.
 func (in *Instance) Resume(now sim.Time, h Handoff) error {
+	// A draining instance still honors transfers already committed to it
+	// — a drain must not strand a KV cache in flight — but a stopped one
+	// is gone; the caller re-routes or drops.
+	if in.s.state == StateStopped {
+		return fmt.Errorf("serve: instance %s is stopped and cannot resume request %d", in.name, h.Req.ID)
+	}
 	if !in.FitsHandoff(h) {
 		return fmt.Errorf("serve: instance %s cannot ever fit resumed request %d (prompt %d + output %d tokens)",
 			in.name, h.Req.ID, h.PromptLen, h.OutputLen)

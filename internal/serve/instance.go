@@ -65,6 +65,9 @@ func (in *Instance) Fits(req Request) bool {
 // cluster front-end's routing callback. It fails if the request can
 // never fit (see Fits).
 func (in *Instance) Accept(now sim.Time, req Request) error {
+	if !in.Accepting() {
+		return fmt.Errorf("serve: instance %s is %s and accepts no new work", in.name, in.s.state)
+	}
 	cr, err := in.s.newRequest(req)
 	if err != nil {
 		return err

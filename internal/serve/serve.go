@@ -191,6 +191,10 @@ type Stats struct {
 	// Resumed counts requests this instance picked up mid-stream from
 	// another instance's prefill (disaggregated pools only).
 	Resumed int
+	// Killed counts in-flight requests evicted by an instance kill
+	// (dynamic fleets only; such requests settle here without counting
+	// as Completed — the fleet layer requeues or drops them).
+	Killed int `json:",omitempty"`
 	// Preemptions counts KV-pressure evictions of running requests.
 	Preemptions int
 	Horizon     sim.Time // last completion time

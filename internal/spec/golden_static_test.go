@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStaticReportsBitIdentical is the lifecycle refactor's core
+// invariant: a spec with no fleet.autoscale and no fleet.faults section
+// must produce a Report byte-identical to the pre-refactor static path.
+// The goldens under testdata/ were captured from the shipped example
+// specs before instances could join or leave a running calendar; any
+// diff here means the dynamic-membership machinery leaked into the
+// static code path (a new JSON field, a changed routing decision, a
+// perturbed event order).
+func TestStaticReportsBitIdentical(t *testing.T) {
+	cases := []struct {
+		spec   string
+		golden string
+	}{
+		{"fleet_replay.json", "golden_fleet_replay.json"},
+		{"disagg_chat.json", "golden_disagg_chat.json"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			s, err := Load(filepath.Join("..", "..", "examples", "specs", tc.spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Simulate(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReportJSON(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report diverged from the pre-refactor golden %s (%d bytes vs %d); the static path must stay bit-identical",
+					tc.golden, len(got), len(want))
+			}
+		})
+	}
+}

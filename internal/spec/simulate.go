@@ -298,6 +298,15 @@ func (s *Spec) simulateCluster(o *options) (*Report, error) {
 		AdmitBurst:      f.AdmitBurst,
 		Observer:        progressObserver(o.observer, len(reqs), o.progressEvery),
 	}
+	if f.Autoscale != nil {
+		ccfg.Autoscale, err = f.Autoscale.config(base)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if f.Faults != nil {
+		ccfg.Faults = f.Faults.config()
+	}
 	st, err := cluster.Simulate(ccfg, reqs)
 	if err != nil {
 		return nil, err
@@ -345,17 +354,77 @@ func (s *Spec) simulateDisagg(o *options) (*Report, error) {
 		Transfer: disagg.TransferModel{
 			HostHopMultiplier: d.HostHopMultiplier,
 			BandwidthGBps:     d.BandwidthGBps,
+			OverlapFraction:   d.OverlapFraction,
 		},
 		TTFTSLO:         base.TTFTSLO,
 		AdmitRatePerSec: f.AdmitRatePerSec,
 		AdmitBurst:      f.AdmitBurst,
 		Observer:        progressObserver(o.observer, len(reqs), o.progressEvery),
 	}
+	if f.Autoscale != nil {
+		dcfg.Autoscale, err = f.Autoscale.config(base)
+		if err != nil {
+			return nil, err
+		}
+		dcfg.AutoscaleRole, err = disagg.ParseRole(f.Autoscale.roleName())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if f.Faults != nil {
+		dcfg.Faults = f.Faults.config()
+	}
 	st, err := disagg.Simulate(dcfg, reqs)
 	if err != nil {
 		return nil, err
 	}
 	return &Report{Kind: KindDisagg, Disagg: st, Offered: len(reqs)}, nil
+}
+
+// config builds the cluster.AutoscaleConfig an AutoscaleSpec describes:
+// the spun-up template clones the base serving config with the named
+// platform substituted.
+func (a *AutoscaleSpec) config(base serve.Config) (*cluster.AutoscaleConfig, error) {
+	p, err := hw.ByName(a.Platform)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := base
+	tmpl.Platform = p
+	signal, err := cluster.ParseScaleSignal(a.signalName())
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.AutoscaleConfig{
+		Template:    tmpl,
+		Signal:      signal,
+		Target:      a.Target,
+		Min:         a.Min,
+		Max:         a.Max,
+		Interval:    sim.Time(a.IntervalMs * 1e6),
+		Cooldown:    sim.Time(a.CooldownMs * 1e6),
+		SpinUpDelay: sim.Time(a.SpinUpDelayMs * 1e6),
+		SLOWindow:   a.SLOWindow,
+	}, nil
+}
+
+// config builds the cluster.FaultsConfig a FaultsSpec describes.
+func (fc *FaultsSpec) config() *cluster.FaultsConfig {
+	out := &cluster.FaultsConfig{
+		CrashRatePerSec: fc.CrashRatePerSec,
+		Seed:            fc.Seed,
+	}
+	for _, ft := range fc.Schedule {
+		kind, _ := cluster.ParseFaultKind(ft.Kind) // validated already
+		out.Faults = append(out.Faults, cluster.Fault{
+			At:     sim.Time(ft.AtMs * 1e6),
+			Kind:   kind,
+			Target: ft.Instance,
+			Dst:    ft.Dst,
+			Factor: ft.Factor,
+		})
+	}
+	return out
 }
 
 // progressObserver forwards events to obs and interleaves an

@@ -229,6 +229,85 @@ type FleetSpec struct {
 	// economics. Without it, Router places requests on a monolithic
 	// fleet and group roles are rejected.
 	Disaggregation *DisaggregationSpec `json:"disaggregation,omitempty"`
+	// Autoscale grows and shrinks the fleet against a load signal while
+	// the simulation runs; the report then carries the churn ledger and
+	// fleet-size series. Without it (and without faults) membership is
+	// static and the report is bit-identical to the pre-lifecycle
+	// output.
+	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+	// Faults injects instance crashes, slow-node multipliers, and (for
+	// disaggregated fleets) degraded links on schedule or at
+	// seeded-random instants.
+	Faults *FaultsSpec `json:"faults,omitempty"`
+}
+
+// AutoscaleSpec configures the fleet autoscale controller
+// (cluster.AutoscaleConfig in JSON form). Spun-up instances clone the
+// spec's serve section with the named platform substituted.
+type AutoscaleSpec struct {
+	// Platform names the catalog platform spun-up instances run on.
+	// Required.
+	Platform string `json:"platform"`
+	// Signal selects the tracked load signal: "queue-depth" (the
+	// default; outstanding requests per active instance),
+	// "slo-attainment" (rolling TTFT-SLO fraction; needs
+	// serve.ttft_slo_ms), or "transfer-queue" (pending KV transfers per
+	// active decode instance; disaggregated fleets only).
+	Signal string `json:"signal,omitempty"`
+	// Target is the signal's setpoint. Required, positive; in (0,1] for
+	// slo-attainment.
+	Target float64 `json:"target"`
+	// Min / Max bound the active-instance count. Max is required; the
+	// configured base fleet is a floor regardless of Min.
+	Min int `json:"min,omitempty"`
+	Max int `json:"max"`
+	// IntervalMs is the controller period (default 1000ms); CooldownMs
+	// the minimum time between scale actions (default 2× interval).
+	IntervalMs float64 `json:"interval_ms,omitempty"`
+	CooldownMs float64 `json:"cooldown_ms,omitempty"`
+	// SpinUpDelayMs is the lag between a grow decision and the instance
+	// joining (default: 2000ms coupled, 4000ms loosely-coupled).
+	SpinUpDelayMs float64 `json:"spin_up_delay_ms,omitempty"`
+	// SLOWindow is the rolling per-instance sample window of the
+	// slo-attainment signal (default 50).
+	SLOWindow int `json:"slo_window,omitempty"`
+	// Role names the pool the controller scales in a disaggregated
+	// fleet: "prefill", "decode" (the default — decode capacity is what
+	// transfer pressure starves), or "both". Rejected for monolithic
+	// fleets.
+	Role string `json:"role,omitempty"`
+}
+
+// FaultSpec is one scheduled fault injection.
+type FaultSpec struct {
+	// AtMs is the injection instant in milliseconds.
+	AtMs float64 `json:"at_ms"`
+	// Kind is the failure mode: "crash", "slow-node", or
+	// "link-degraded" (disaggregated fleets only).
+	Kind string `json:"kind"`
+	// Instance is the victim's index in the flattened fleet (groups in
+	// order; for link faults, the transfer source). An index that does
+	// not exist at fire time — or an already stopped instance — makes
+	// the fault a no-op.
+	Instance int `json:"instance"`
+	// Dst is a link fault's destination-instance index.
+	Dst int `json:"dst,omitempty"`
+	// Factor is the slow-node iteration multiplier or the link
+	// bandwidth divisor (≥ 1).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// FaultsSpec configures fault injection (cluster.FaultsConfig in JSON
+// form).
+type FaultsSpec struct {
+	// Schedule lists deterministic injections.
+	Schedule []FaultSpec `json:"schedule,omitempty"`
+	// CrashRatePerSec adds seeded-random crashes: a Poisson process
+	// over the arrival window, victims drawn uniformly from the
+	// survivors; crashes the fleet could not survive are skipped.
+	CrashRatePerSec float64 `json:"crash_rate_per_sec,omitempty"`
+	// Seed drives the random-crash plan.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // DisaggregationSpec configures prefill/decode disaggregation for a
@@ -250,6 +329,12 @@ type DisaggregationSpec struct {
 	// interconnect bandwidth for transfers — the what-if knob for
 	// sweeping the disaggregation crossover.
 	BandwidthGBps float64 `json:"bandwidth_gbps,omitempty"`
+	// OverlapFraction models chunked/layerwise KV shipping: this
+	// fraction of each transfer's wire time hides behind decode start
+	// (the link stays busy for the full time; only the resume instant
+	// advances). Must be in [0,1); 0 — the default — is strict
+	// store-and-forward.
+	OverlapFraction float64 `json:"overlap_fraction,omitempty"`
 }
 
 // Kind is the simulation layer a Spec dispatches to.

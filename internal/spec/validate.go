@@ -102,6 +102,15 @@ func (s *Spec) Validate() error {
 		}
 	}
 
+	// Cross-section: the slo-attainment signal is meaningless without a
+	// TTFT objective — every sample would count as met and the
+	// controller could only ever shrink.
+	if s.Fleet != nil && s.Fleet.Autoscale != nil && s.Fleet.Autoscale.signalName() == "slo-attainment" {
+		if s.Serve == nil || s.Serve.TTFTSLOMs == 0 {
+			return errAt("fleet.autoscale.signal", "the slo-attainment signal needs serve.ttft_slo_ms")
+		}
+	}
+
 	// The sweep section last: its field path resolves against the
 	// now-known-coherent base document.
 	if s.Sweep != nil {
@@ -406,6 +415,122 @@ func (f *FleetSpec) validate() error {
 		}
 		if d.BandwidthGBps < 0 {
 			return errAt("fleet.disaggregation.bandwidth_gbps", "must be non-negative, got %g", d.BandwidthGBps)
+		}
+		if d.OverlapFraction < 0 || d.OverlapFraction >= 1 {
+			return errAt("fleet.disaggregation.overlap_fraction", "must be in [0,1), got %g", d.OverlapFraction)
+		}
+	}
+	if f.Autoscale != nil {
+		if err := f.Autoscale.validate(f.Disaggregation != nil); err != nil {
+			return err
+		}
+	}
+	if f.Faults != nil {
+		if err := f.Faults.validate(f.Disaggregation != nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// signalName is the autoscale signal with its default applied.
+func (a *AutoscaleSpec) signalName() string {
+	if a.Signal == "" {
+		return "queue-depth"
+	}
+	return a.Signal
+}
+
+// roleName is the scaled pool with its default applied.
+func (a *AutoscaleSpec) roleName() string {
+	if a.Role == "" {
+		return "decode"
+	}
+	return a.Role
+}
+
+func (a *AutoscaleSpec) validate(disaggregated bool) error {
+	if a.Platform == "" {
+		return errAt("fleet.autoscale.platform", "required")
+	}
+	if _, err := hw.ByName(a.Platform); err != nil {
+		return errAt("fleet.autoscale.platform", "%v", err)
+	}
+	signal, err := cluster.ParseScaleSignal(a.signalName())
+	if err != nil {
+		return errAt("fleet.autoscale.signal", "%v", err)
+	}
+	if signal == cluster.SignalTransferQueue && !disaggregated {
+		return errAt("fleet.autoscale.signal", "the transfer-queue signal needs a fleet.disaggregation section")
+	}
+	switch {
+	case a.Target <= 0:
+		return errAt("fleet.autoscale.target", "must be positive, got %g", a.Target)
+	case signal == cluster.SignalSLOAttainment && a.Target > 1:
+		return errAt("fleet.autoscale.target", "slo-attainment targets are fractions in (0,1], got %g", a.Target)
+	case a.Max <= 0:
+		return errAt("fleet.autoscale.max", "must be positive, got %d", a.Max)
+	case a.Min < 0 || a.Min > a.Max:
+		return errAt("fleet.autoscale.min", "must be in [0, max %d], got %d", a.Max, a.Min)
+	case a.IntervalMs < 0:
+		return errAt("fleet.autoscale.interval_ms", "must be non-negative, got %g", a.IntervalMs)
+	case a.CooldownMs < 0:
+		return errAt("fleet.autoscale.cooldown_ms", "must be non-negative, got %g", a.CooldownMs)
+	case a.SpinUpDelayMs < 0:
+		return errAt("fleet.autoscale.spin_up_delay_ms", "must be non-negative, got %g", a.SpinUpDelayMs)
+	case a.SLOWindow < 0:
+		return errAt("fleet.autoscale.slo_window", "must be non-negative, got %d", a.SLOWindow)
+	}
+	if !disaggregated && a.Role != "" {
+		return errAt("fleet.autoscale.role", "scaled-pool roles need a fleet.disaggregation section")
+	}
+	if _, err := disagg.ParseRole(a.roleName()); err != nil {
+		return errAt("fleet.autoscale.role", "%v", err)
+	}
+	return nil
+}
+
+func (fc *FaultsSpec) validate(disaggregated bool) error {
+	if fc.CrashRatePerSec < 0 {
+		return errAt("fleet.faults.crash_rate_per_sec", "must be non-negative, got %g", fc.CrashRatePerSec)
+	}
+	if len(fc.Schedule) == 0 && fc.CrashRatePerSec == 0 {
+		return errAt("fleet.faults", "needs a schedule or a positive crash_rate_per_sec")
+	}
+	for i, ft := range fc.Schedule {
+		path := fmt.Sprintf("fleet.faults.schedule[%d]", i)
+		if ft.AtMs < 0 {
+			return errAt(path+".at_ms", "must be non-negative, got %g", ft.AtMs)
+		}
+		kind, err := cluster.ParseFaultKind(ft.Kind)
+		if err != nil {
+			return errAt(path+".kind", "%v", err)
+		}
+		if ft.Instance < 0 {
+			return errAt(path+".instance", "must be non-negative, got %d", ft.Instance)
+		}
+		switch kind {
+		case cluster.FaultCrash:
+			if ft.Factor != 0 || ft.Dst != 0 {
+				return errAt(path+".kind", "crash faults take no factor or dst")
+			}
+		case cluster.FaultSlowNode:
+			if ft.Dst != 0 {
+				return errAt(path+".dst", "slow-node faults take no dst")
+			}
+			if ft.Factor < 1 {
+				return errAt(path+".factor", "must be ≥ 1, got %g", ft.Factor)
+			}
+		case cluster.FaultLinkDegrade:
+			if !disaggregated {
+				return errAt(path+".kind", "link faults need a fleet.disaggregation section")
+			}
+			if ft.Dst < 0 {
+				return errAt(path+".dst", "must be non-negative, got %d", ft.Dst)
+			}
+			if ft.Factor < 1 {
+				return errAt(path+".factor", "must be ≥ 1, got %g", ft.Factor)
+			}
 		}
 	}
 	return nil

@@ -343,6 +343,44 @@ type (
 	RouterPolicy = cluster.Policy
 	// FleetGroup is one homogeneous slice of a fleet spec.
 	FleetGroup = cluster.FleetGroup
+	// AutoscaleConfig parameterizes the fleet autoscale controller.
+	AutoscaleConfig = cluster.AutoscaleConfig
+	// ScaleSignal selects the autoscale load signal.
+	ScaleSignal = cluster.ScaleSignal
+	// FaultsConfig parameterizes fault injection.
+	FaultsConfig = cluster.FaultsConfig
+	// Fault is one scheduled fault injection.
+	Fault = cluster.Fault
+	// FaultKind classifies a fault (crash, slow-node, link-degraded).
+	FaultKind = cluster.FaultKind
+	// ChaosStats is the churn ledger of a dynamic fleet.
+	ChaosStats = cluster.ChaosStats
+	// InstanceState is a serving instance's lifecycle state.
+	InstanceState = serve.InstanceState
+	// EvictedRequest is one in-flight request a killed instance pushed
+	// out for the fleet layer to requeue.
+	EvictedRequest = serve.Evicted
+)
+
+// Autoscale signals.
+const (
+	SignalQueueDepth    = cluster.SignalQueueDepth
+	SignalSLOAttainment = cluster.SignalSLOAttainment
+	SignalTransferQueue = cluster.SignalTransferQueue
+)
+
+// Fault kinds.
+const (
+	FaultCrash       = cluster.FaultCrash
+	FaultSlowNode    = cluster.FaultSlowNode
+	FaultLinkDegrade = cluster.FaultLinkDegrade
+)
+
+// Instance lifecycle states.
+const (
+	StateActive   = serve.StateActive
+	StateDraining = serve.StateDraining
+	StateStopped  = serve.StateStopped
 )
 
 // Routing policies.
@@ -455,6 +493,14 @@ type (
 	// DisaggregationSpec is the fleet.disaggregation section: pool
 	// routers and the KV-transfer knobs.
 	DisaggregationSpec = spec.DisaggregationSpec
+	// AutoscaleSpec is the fleet.autoscale section: the feedback
+	// controller that grows and shrinks a running fleet.
+	AutoscaleSpec = spec.AutoscaleSpec
+	// FaultsSpec is the fleet.faults section: scheduled and
+	// seeded-random failure injection.
+	FaultsSpec = spec.FaultsSpec
+	// FaultSpec is one scheduled fault of a FaultsSpec.
+	FaultSpec = spec.FaultSpec
 	// SweepSpec is the sweep section of a Spec: one document field
 	// swept across a value series, each point an independent simulation.
 	SweepSpec = spec.SweepSpec
@@ -499,6 +545,11 @@ const (
 	EventKVTransferDone  = serve.EventKVTransferDone
 	EventCompleted       = serve.EventCompleted
 	EventProgress        = serve.EventProgress
+	EventInstanceJoin    = serve.EventInstanceJoin
+	EventDrainStart      = serve.EventDrainStart
+	EventInstanceGone    = serve.EventInstanceGone
+	EventFaultInjected   = serve.EventFaultInjected
+	EventRequeued        = serve.EventRequeued
 )
 
 // Simulate validates the spec and runs it on the matching layer —
