@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,9 @@ func cmdSim(args []string) error {
 	events := fs.Bool("events", false, "stream simulation events (arrival/routed/admitted/…) to stdout")
 	jsonOut := fs.Bool("json", false, "print the unified report as JSON (stable field order; times in virtual ns) instead of text")
 	out := fs.String("o", "", "run specs: write the trace to this Chrome-trace JSON file")
+	traceOut := fs.String("trace-out", "", "serve/fleet specs: write the per-request span timeline to this Chrome-trace JSON file (Perfetto-loadable)")
+	eventsOut := fs.String("events-out", "", "serve/fleet specs: write the event stream to this file as JSON lines (one event per line, Seq-numbered)")
+	cfK := fs.Int("counterfactual-k", 0, "fleet specs: record every routing decision with up to K scored alternatives plus counterfactual policy replays (overrides observability.counterfactual_k)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -29,28 +33,74 @@ func cmdSim(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *cfK != 0 {
+		if sp.Observability == nil {
+			sp.Observability = &skip.ObservabilitySpec{}
+		}
+		sp.Observability.CounterfactualK = *cfK
+	}
 
-	var opts []skip.SimOption
+	// Run documents emit no lifecycle events — swept or not (run is
+	// mutually exclusive with serve/fleet, so sp.Run identifies a
+	// run-kind sweep too).
+	isRun := sp.Kind() == skip.KindRun || sp.Run != nil
+	// Every event consumer shares one observer; with -json, stdout must
+	// stay one parseable document, so status and streamed events move to
+	// stderr.
+	statusOut := os.Stdout
+	if *jsonOut {
+		statusOut = os.Stderr
+	}
+	var observers []skip.Observer
 	if *events {
-		// Run documents emit no lifecycle events — swept or not (run is
-		// mutually exclusive with serve/fleet, so sp.Run identifies a
-		// run-kind sweep too).
-		if sp.Kind() == skip.KindRun || sp.Run != nil {
+		if isRun {
 			return fmt.Errorf("sim: -events needs a serve or fleet spec (run specs emit no lifecycle events)")
 		}
-		// With -json, stdout must stay one parseable document: the event
-		// stream moves to stderr.
-		eventSink := os.Stdout
-		if *jsonOut {
-			eventSink = os.Stderr
+		observers = append(observers, func(e skip.Event) {
+			fmt.Fprintln(statusOut, "  event:", e)
+		})
+	}
+	var encErr error
+	if *eventsOut != "" {
+		if isRun {
+			return fmt.Errorf("sim: -events-out needs a serve or fleet spec (run specs emit no lifecycle events)")
 		}
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		observers = append(observers, func(e skip.Event) {
+			if err := enc.Encode(e); err != nil && encErr == nil {
+				encErr = fmt.Errorf("sim: writing %s: %w", *eventsOut, err)
+			}
+		})
+	}
+	var tb *skip.TimelineBuilder
+	if *traceOut != "" {
+		switch sp.Kind() {
+		case skip.KindServe, skip.KindCluster, skip.KindDisagg:
+		default:
+			return fmt.Errorf("sim: -trace-out needs a serve or fleet spec (request ids repeat across sweep points; use -o for run traces)")
+		}
+		tb = skip.NewTimelineBuilder()
+		observers = append(observers, tb.Observe)
+	}
+	var opts []skip.SimOption
+	if len(observers) > 0 {
 		opts = append(opts, skip.WithObserver(func(e skip.Event) {
-			fmt.Fprintln(eventSink, "  event:", e)
+			for _, fn := range observers {
+				fn(e)
+			}
 		}))
 	}
 	rep, err := skip.Simulate(sp, opts...)
 	if err != nil {
 		return err
+	}
+	if encErr != nil {
+		return encErr
 	}
 	if *jsonOut {
 		data, err := skip.ReportJSON(rep)
@@ -62,6 +112,19 @@ func cmdSim(args []string) error {
 		printReport(sp, rep)
 	}
 
+	if tb != nil {
+		if err := tb.Reconcile(); err != nil {
+			return err
+		}
+		if err := tb.Trace().SaveFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(statusOut, "request timeline written to %s (%d requests)\n",
+			*traceOut, len(tb.Timelines()))
+	}
+	if *eventsOut != "" {
+		fmt.Fprintf(statusOut, "event stream written to %s\n", *eventsOut)
+	}
 	if *out != "" {
 		tr := traceOf(rep)
 		if tr == nil {
@@ -70,7 +133,7 @@ func cmdSim(args []string) error {
 		if err := tr.SaveFile(*out); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s\n", *out)
+		fmt.Fprintf(statusOut, "trace written to %s\n", *out)
 	}
 	return nil
 }
@@ -103,6 +166,24 @@ func printReport(sp *skip.Spec, rep *skip.Report) {
 		printDisaggReport(sp, rep)
 	case skip.KindSweep:
 		printSweepReport(sp, rep)
+	}
+	printMetrics(rep.Metrics)
+}
+
+// printMetrics renders the derived series a report.metrics section
+// selected — one row per metric, all sweep points on the row.
+func printMetrics(metrics []skip.Metric) {
+	if len(metrics) == 0 {
+		return
+	}
+	fmt.Println()
+	fmt.Println("  derived metrics")
+	for _, m := range metrics {
+		vals := make([]string, len(m.Values))
+		for i, v := range m.Values {
+			vals[i] = fmt.Sprintf("%.6g", v)
+		}
+		fmt.Printf("    %-28s %s\n", m.Name, strings.Join(vals, " "))
 	}
 }
 
@@ -282,6 +363,7 @@ func printClusterReport(sp *skip.Spec, rep *skip.Report) {
 	fmt.Println()
 	fmt.Printf("  imbalance    %.3f (CV of per-instance routed counts)\n", stats.LoadImbalance)
 	printChaos(stats.Chaos)
+	printRouting("routing", stats.Routing)
 	fmt.Println()
 
 	fmt.Printf("  %-16s %7s %7s %12s %12s %9s %8s %8s\n",
@@ -291,6 +373,95 @@ func printClusterReport(sp *skip.Spec, rep *skip.Report) {
 			is.Name, is.Routed, is.Serve.Completed,
 			is.Serve.P95TTFT, is.Serve.P95E2E, is.Serve.TokensPerSec,
 			is.Serve.PeakKVFrac*100, is.Serve.Preemptions)
+	}
+
+	sloSet := sp.Serve != nil && sp.Serve.TTFTSLOMs > 0
+	shares := make([]platformShare, len(stats.Instances))
+	for i, is := range stats.Instances {
+		shares[i] = platformShare{
+			platform: is.Platform, placed: is.Routed, done: is.Serve.Completed,
+			tokps: is.Serve.TokensPerSec, slo: is.Serve.SLOAttainment,
+		}
+	}
+	printPlatformBreakdown(sloSet, shares)
+}
+
+// platformShare is one instance's contribution to the per-platform
+// breakdown.
+type platformShare struct {
+	platform string
+	placed   int
+	done     int
+	tokps    float64
+	slo      float64
+}
+
+// printPlatformBreakdown aggregates the per-instance table by platform —
+// the heterogeneous-fleet view: which hardware carried the load, and how
+// each platform class fared against the TTFT SLO. Single-platform fleets
+// skip it (the instance table above already is the breakdown); the SLO
+// column is the per-instance attainment weighted by completions.
+func printPlatformBreakdown(sloSet bool, shares []platformShare) {
+	type row struct {
+		inst, placed, done int
+		tokps, sloW        float64
+		sloN               int
+	}
+	var order []string
+	agg := make(map[string]*row)
+	for _, sh := range shares {
+		r := agg[sh.platform]
+		if r == nil {
+			r = &row{}
+			agg[sh.platform] = r
+			order = append(order, sh.platform)
+		}
+		r.inst++
+		r.placed += sh.placed
+		r.done += sh.done
+		r.tokps += sh.tokps
+		r.sloW += sh.slo * float64(sh.done)
+		r.sloN += sh.done
+	}
+	if len(order) < 2 {
+		return
+	}
+	fmt.Println()
+	hdr := fmt.Sprintf("  %-16s %5s %7s %7s %9s", "platform", "inst", "placed", "done", "tok/s")
+	if sloSet {
+		hdr += fmt.Sprintf(" %8s", "SLO")
+	}
+	fmt.Println(hdr)
+	for _, p := range order {
+		r := agg[p]
+		line := fmt.Sprintf("  %-16s %5d %7d %7d %9.0f", p, r.inst, r.placed, r.done, r.tokps)
+		if sloSet {
+			slo := 0.0
+			if r.sloN > 0 {
+				slo = r.sloW / float64(r.sloN)
+			}
+			line += fmt.Sprintf(" %7.0f%%", slo*100)
+		}
+		fmt.Println(line)
+	}
+}
+
+// printRouting renders the decision-record summary a -counterfactual-k
+// (or observability.counterfactual_k) run carries; full per-decision
+// records are available via -json.
+func printRouting(label string, r *skip.RoutingStats) {
+	if r == nil {
+		return
+	}
+	fmt.Printf("  %-12s %d picks under %s (top-%d alternatives recorded)\n",
+		label, r.Picks, r.Policy, r.K)
+	for _, cf := range r.Counterfactuals {
+		pct := 0.0
+		if cf.Picks > 0 {
+			pct = 100 * float64(cf.Differed) / float64(cf.Picks)
+		}
+		fmt.Printf("    %-16s would have placed %d/%d picks differently (%.0f%%)\n",
+			cf.Policy, cf.Differed, cf.Picks, pct)
 	}
 }
 
@@ -327,6 +498,8 @@ func printDisaggReport(sp *skip.Spec, rep *skip.Report) {
 	fmt.Println()
 	fmt.Printf("  imbalance    %.3f (CV of per-instance placed work)\n", stats.LoadImbalance)
 	printChaos(stats.Chaos)
+	printRouting("prefill", stats.PrefillRouting)
+	printRouting("decode", stats.DecodeRouting)
 	fmt.Println()
 
 	fmt.Printf("  %-24s %7s %7s %7s %12s %9s %8s\n",
@@ -336,6 +509,16 @@ func printDisaggReport(sp *skip.Spec, rep *skip.Report) {
 			is.Name, is.Routed, is.Resumed, is.Serve.Completed,
 			is.Serve.P95TTFT, is.Serve.TokensPerSec, is.Serve.PeakKVFrac*100)
 	}
+
+	sloSet := sp.Serve != nil && sp.Serve.TTFTSLOMs > 0
+	shares := make([]platformShare, len(stats.Instances))
+	for i, is := range stats.Instances {
+		shares[i] = platformShare{
+			platform: is.Platform, placed: is.Routed + is.Resumed, done: is.Serve.Completed,
+			tokps: is.Serve.TokensPerSec, slo: is.Serve.SLOAttainment,
+		}
+	}
+	printPlatformBreakdown(sloSet, shares)
 }
 
 // printChaos renders the churn ledger of a dynamic fleet (autoscale or

@@ -1,0 +1,97 @@
+// Traced fleet: the observability surface end-to-end from library
+// code. One spec (examples/specs/traced_fleet.json) pairs a mixed
+// GH200 + Intel+H100 fleet under a platform-aware router with the two
+// observability sections:
+//
+//   - "observability": {"counterfactual_k": 3} records every routing
+//     decision — the chosen instance plus the top-3 alternatives the
+//     policy scored — and replays the other policies over the recorded
+//     snapshots to answer "would least-queue have placed this request
+//     elsewhere?" without re-running the simulation.
+//   - "report": {"metrics": [...]} extracts named numeric leaves of the
+//     report into a flat series, the shape a plotting script wants.
+//
+// The program also taps the event stream through a TimelineBuilder and
+// writes a Chrome-trace JSON of every request's span timeline
+// (queue → prefill → decode, stalls, transfers, requeues) — open it at
+// ui.perfetto.dev or chrome://tracing. Each instance renders as one
+// thread row (TID 1..N); KV-transfer links get their own rows from
+// TID 1001 so transfers bridge the prefill and decode lanes.
+//
+// Run from the repository root:
+//
+//	go run ./examples/traced_fleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	skip "github.com/skipsim/skip"
+)
+
+func main() {
+	sp, err := skip.LoadSpec("examples/specs/traced_fleet.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One observer feeds the timeline builder; Simulate stamps each
+	// event with a strictly increasing Seq before it arrives here.
+	tb := skip.NewTimelineBuilder()
+	rep, err := skip.Simulate(sp, skip.WithObserver(tb.Observe))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := rep.Cluster
+	fmt.Printf("traced fleet: %d requests through 2×GH200 + 2×Intel+H100 under %s\n",
+		rep.Offered, st.RouterPolicy)
+
+	// 1. Routing decision records + counterfactual replay.
+	rt := st.Routing
+	fmt.Printf("\n%d routing decisions recorded (top-%d alternatives each)\n", rt.Picks, rt.K)
+	for _, cf := range rt.Counterfactuals {
+		fmt.Printf("  %-15s would have moved %d/%d picks (%.0f%%)\n",
+			cf.Policy, cf.Differed, cf.Picks, 100*float64(cf.Differed)/float64(cf.Picks))
+	}
+	d := rt.Decisions[0]
+	fmt.Printf("  first pick: request %d → %s (queue %d, KV %.0f%%), over:\n",
+		d.RequestID, d.Chosen, d.Outstanding, 100*d.KVPressure)
+	for _, alt := range d.Alternatives {
+		fmt.Printf("    %-14s queue %d, KV %.0f%%\n", alt.Instance, alt.Outstanding, 100*alt.KVPressure)
+	}
+
+	// 2. Derived metrics: flat named series straight off the report.
+	fmt.Println("\nderived metrics (report.metrics)")
+	for _, m := range rep.Metrics {
+		fmt.Printf("  %-15s %v\n", m.Name, m.Values)
+	}
+
+	// 3. Request timelines → Chrome trace. Reconcile proves every
+	// admitted request's spans tile its life and match the ledger.
+	if err := tb.Reconcile(); err != nil {
+		log.Fatal(err)
+	}
+	tls := tb.Timelines()
+	var spans int
+	for _, tl := range tls {
+		spans += len(tl.Segments)
+	}
+	longest := tls[0]
+	for _, tl := range tls {
+		if len(tl.Segments) > len(longest.Segments) {
+			longest = tl
+		}
+	}
+	fmt.Printf("\n%d request timelines, %d spans; busiest request %d:\n", len(tls), spans, longest.RequestID)
+	for _, seg := range longest.Segments {
+		fmt.Printf("  %-8s %12v – %-12v on %s\n", seg.Kind, seg.Start, seg.End, seg.Where)
+	}
+
+	const out = "traced_fleet_trace.json"
+	if err := tb.Trace().SaveFile(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nChrome trace written to %s — load it at ui.perfetto.dev\n", out)
+}

@@ -131,6 +131,32 @@ func runExtCluster() (*Result, error) {
 		"affinity models KV-reuse locality (later turns return to the instance holding the session's context); the simulator does not yet credit the reuse, so its gain here is placement stability, not latency")
 	res.Tables = append(res.Tables, agTbl)
 
+	// Counterfactual routing: re-run the study under the platform-aware
+	// router with decision records on, replaying the other policies over
+	// each recorded load snapshot. Disagreement rates quantify how much
+	// of the table above is placement policy rather than luck.
+	cfSpec := clusterStudySpec(cluster.PlatformAware.String())
+	cfSpec.Observability = &spec.ObservabilitySpec{CounterfactualK: 3}
+	cfRep, err := spec.Simulate(cfSpec)
+	if err != nil {
+		return nil, err
+	}
+	routing := cfRep.Cluster.Routing
+	cfTbl := Table{
+		Title:   fmt.Sprintf("Counterfactual routing replay (%d picks recorded under %s)", routing.Picks, routing.Policy),
+		Columns: []string{"Replayed policy", "agreed", "differed", "disagreement"},
+	}
+	for _, cf := range routing.Counterfactuals {
+		cfTbl.Rows = append(cfTbl.Rows, []string{
+			cf.Policy, fmt.Sprintf("%d", cf.Agreed), fmt.Sprintf("%d", cf.Differed),
+			fmt.Sprintf("%.0f%%", 100*float64(cf.Differed)/float64(cf.Picks)),
+		})
+	}
+	cfTbl.Notes = append(cfTbl.Notes,
+		"each replayed policy scores the exact load snapshot the live router saw, so disagreement isolates the policy from the stream",
+		"the decision records themselves ride in the report (Report.Cluster.Routing.Decisions) for span-level audits")
+	res.Tables = append(res.Tables, cfTbl)
+
 	// Admission control at the same offered load: a token bucket below
 	// the offered rate sheds the burst tail at the front door.
 	admitted := clusterStudySpec(cluster.LeastQueue.String())
@@ -220,6 +246,14 @@ func runExtCluster() (*Result, error) {
 			allInstancesUsed(byPolicy),
 			"every instance routed > 0 requests",
 			"no policy degenerates to a single hot instance"),
+		checkBool("decision records cover every placement exactly once",
+			routing != nil && routing.Picks == cfRep.Cluster.Routed && len(routing.Decisions) == routing.Picks,
+			fmt.Sprintf("%d decisions for %d routed requests", len(routing.Decisions), cfRep.Cluster.Routed),
+			"the routing audit trail reconciles with the ledger on a static fleet"),
+		checkBool("counterfactual replay partitions cleanly",
+			counterfactualsPartition(routing),
+			"agreed + differed == picks for every replayed policy",
+			"each recorded snapshot yields exactly one verdict per alternative policy"),
 	)
 	return res, nil
 }
@@ -237,6 +271,20 @@ func coupledShare(st *cluster.Stats) float64 {
 		}
 	}
 	return float64(coupled) / float64(st.Routed)
+}
+
+// counterfactualsPartition verifies every replayed policy's
+// agreed/differed split sums back to the recorded pick count.
+func counterfactualsPartition(r *cluster.RoutingStats) bool {
+	if r == nil || len(r.Counterfactuals) == 0 {
+		return false
+	}
+	for _, cf := range r.Counterfactuals {
+		if cf.Picks != r.Picks || cf.Agreed+cf.Differed != cf.Picks {
+			return false
+		}
+	}
+	return true
 }
 
 func routedCounts(st *cluster.Stats) []int {

@@ -59,6 +59,11 @@ type Config struct {
 	// multipliers on schedule or at seeded-random instants (see
 	// FaultsConfig). Nil injects nothing.
 	Faults *FaultsConfig
+	// CounterfactualK, when positive, records every routing decision
+	// with up to K scored alternatives and counterfactual policy
+	// replays in Stats.Routing. Zero keeps recording off and the
+	// Routing section absent — the pre-feature report, bit for bit.
+	CounterfactualK int
 }
 
 func (c *Config) validate() error {
@@ -105,6 +110,9 @@ type fleetSim struct {
 
 	rt    *router
 	admit *TokenBucket
+	// rec records routing decisions for counterfactual scoring; nil
+	// when Config.CounterfactualK is zero.
+	rec *DecisionRecorder
 
 	reqs        []serve.Request
 	lastArrival sim.Time
@@ -218,6 +226,9 @@ func (f *fleetSim) route(now sim.Time, req serve.Request) {
 		f.frontDoor(now, serve.EventUnroutable, req, "")
 		return
 	}
+	if f.rec != nil {
+		f.rec.Record(now, req, f.members, idx, false, 0)
+	}
 	f.placed++
 	f.frontDoor(now, serve.EventRouted, req, f.members[idx].Name())
 	if err := f.members[idx].Accept(now, req); err != nil {
@@ -258,6 +269,9 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 	}
 	if cfg.AdmitRatePerSec > 0 {
 		f.admit = NewTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
+	}
+	if cfg.CounterfactualK > 0 {
+		f.rec = NewDecisionRecorder(cfg.Policy, cfg.ShortPrompt, cfg.CounterfactualK)
 	}
 	if cfg.Autoscale != nil || cfg.Faults != nil {
 		f.chaos = &ChaosStats{}

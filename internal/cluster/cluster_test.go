@@ -334,6 +334,13 @@ func TestRouterPolicyRoundTrip(t *testing.T) {
 	}
 	if _, err := ParsePolicy("nope"); err == nil {
 		t.Error("unknown policy should fail")
+	} else {
+		// The error names every valid policy, so a typo is self-serving.
+		for _, p := range Policies() {
+			if !strings.Contains(err.Error(), p.String()) {
+				t.Errorf("ParsePolicy error %q does not list %q", err, p.String())
+			}
+		}
 	}
 }
 

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"sort"
+
+	"github.com/skipsim/skip/internal/serve"
+	"github.com/skipsim/skip/internal/sim"
+)
+
+// AltScore is one alternative the router considered but did not choose,
+// scored under the active policy's own metric at decision time.
+type AltScore struct {
+	Instance    string
+	Outstanding int
+	KVPressure  float64
+	// Score is the value the policy minimizes: KV pressure for
+	// least-kv, outstanding requests for everything else.
+	Score float64
+}
+
+// Decision is one routing decision record: where a request went, what
+// the chosen instance looked like, and the top-k alternatives ranked
+// under the same metric. Records are emitted in pick order, so for a
+// fixed spec and seed the sequence is bit-identical across runs.
+type Decision struct {
+	Time      sim.Time
+	RequestID int
+	SessionID int64 `json:",omitempty"`
+	// Requeue marks a crash-driven re-placement rather than a
+	// front-door arrival.
+	Requeue bool `json:",omitempty"`
+	Chosen  string
+	// Outstanding / KVPressure snapshot the chosen instance's load at
+	// pick time, before the request lands on it.
+	Outstanding int
+	KVPressure  float64
+	// LinkWait is the FIFO backlog on the chosen transfer link at pick
+	// time (disaggregated decode picks only) — how long the shipped
+	// cache will sit behind earlier transfers.
+	LinkWait     sim.Time   `json:",omitempty"`
+	Alternatives []AltScore `json:",omitempty"`
+}
+
+// CounterfactualStat replays one alternative policy over the same
+// decision points: on how many picks would it have agreed with the
+// active policy, and on how many would it have placed differently?
+type CounterfactualStat struct {
+	Policy   string
+	Picks    int
+	Agreed   int
+	Differed int
+}
+
+// RoutingStats is the decision-record section of a cluster or disagg
+// report, present only when counterfactual scoring was requested.
+type RoutingStats struct {
+	// Policy is the active routing policy the decisions came from.
+	Policy string
+	// K is the alternatives-per-decision cap that was requested.
+	K int
+	// Picks counts recorded decisions: initial placements plus crash
+	// requeues (rejected and unroutable requests never reach a pick).
+	Picks int
+	// Counterfactuals scores the stateless policies (least-queue,
+	// least-kv, platform-aware) against the recorded picks. Stateful
+	// policies (round-robin, session-affinity) cannot be replayed
+	// read-only and are excluded; the active policy is too.
+	Counterfactuals []CounterfactualStat `json:",omitempty"`
+	Decisions       []Decision           `json:",omitempty"`
+}
+
+// DecisionRecorder captures routing decisions and counterfactual
+// replays for one router. It is strictly read-only over fleet state:
+// Record must run at pick time — after the policy chose, before the
+// instance accepts — so alternative scores see exactly the state the
+// real decision saw.
+type DecisionRecorder struct {
+	policy      Policy
+	shortPrompt int64
+	k           int
+	picks       int
+	decisions   []Decision
+	counter     map[Policy]*CounterfactualStat
+}
+
+// NewDecisionRecorder builds a recorder for the active policy. k caps
+// the alternatives stored per decision; shortPrompt is the
+// platform-aware regime boundary (≤ 0 takes the router default).
+func NewDecisionRecorder(policy Policy, shortPrompt int64, k int) *DecisionRecorder {
+	if shortPrompt <= 0 {
+		shortPrompt = 512
+	}
+	r := &DecisionRecorder{policy: policy, shortPrompt: shortPrompt, k: k,
+		counter: make(map[Policy]*CounterfactualStat)}
+	for _, p := range counterfactualPolicies {
+		if p != policy {
+			r.counter[p] = &CounterfactualStat{Policy: p.String()}
+		}
+	}
+	return r
+}
+
+// counterfactualPolicies are the stateless policies a recorder can
+// replay against a live fleet without mutating routing state.
+var counterfactualPolicies = []Policy{LeastQueue, LeastKV, PlatformAware}
+
+// statelessPick replays policy p read-only against the instances.
+func (r *DecisionRecorder) statelessPick(p Policy, req serve.Request, instances []*serve.Instance) int {
+	switch p {
+	case LeastKV:
+		return leastBy(req, instances, func(in *serve.Instance) float64 { return in.KVPressure() })
+	case PlatformAware:
+		return pickPlatformAware(req, instances, r.shortPrompt)
+	default:
+		return leastOutstanding(req, instances)
+	}
+}
+
+// Record logs one successful pick. chosen indexes instances; linkWait
+// is zero except for disaggregated decode picks.
+func (r *DecisionRecorder) Record(now sim.Time, req serve.Request, instances []*serve.Instance, chosen int, requeue bool, linkWait sim.Time) {
+	r.picks++
+	for p, st := range r.counter {
+		st.Picks++
+		if r.statelessPick(p, req, instances) == chosen {
+			st.Agreed++
+		} else {
+			st.Differed++
+		}
+	}
+	in := instances[chosen]
+	d := Decision{
+		Time: now, RequestID: req.ID, SessionID: req.SessionID,
+		Requeue: requeue, Chosen: in.Name(),
+		Outstanding: in.Outstanding(), KVPressure: in.KVPressure(),
+		LinkWait: linkWait,
+	}
+	score := func(in *serve.Instance) float64 {
+		if r.policy == LeastKV {
+			return in.KVPressure()
+		}
+		return float64(in.Outstanding())
+	}
+	for i, alt := range instances {
+		if i == chosen || !alt.Accepting() || !alt.Fits(req) {
+			continue
+		}
+		d.Alternatives = append(d.Alternatives, AltScore{
+			Instance: alt.Name(), Outstanding: alt.Outstanding(),
+			KVPressure: alt.KVPressure(), Score: score(alt),
+		})
+	}
+	sort.SliceStable(d.Alternatives, func(i, j int) bool {
+		return d.Alternatives[i].Score < d.Alternatives[j].Score
+	})
+	if len(d.Alternatives) > r.k {
+		d.Alternatives = d.Alternatives[:r.k]
+	}
+	r.decisions = append(r.decisions, d)
+}
+
+// Stats assembles the routing section, counterfactuals in canonical
+// policy order. Nil receivers (recording disabled) return nil, keeping
+// reports bit-identical when the feature is off.
+func (r *DecisionRecorder) Stats() *RoutingStats {
+	if r == nil {
+		return nil
+	}
+	rs := &RoutingStats{Policy: r.policy.String(), K: r.k, Picks: r.picks, Decisions: r.decisions}
+	for _, p := range counterfactualPolicies {
+		if st, ok := r.counter[p]; ok {
+			rs.Counterfactuals = append(rs.Counterfactuals, *st)
+		}
+	}
+	return rs
+}

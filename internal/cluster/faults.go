@@ -237,6 +237,9 @@ func (f *fleetSim) requeue(now sim.Time, ev serve.Evicted) {
 		f.frontDoor(now, serve.EventUnroutable, req, "")
 		return
 	}
+	if f.rec != nil {
+		f.rec.Record(now, req, f.members, idx, true, 0)
+	}
 	if err := f.members[idx].AcceptRequeued(now, ev); err != nil {
 		f.fail(fmt.Errorf("cluster: %s refused requeued request %d: %w",
 			f.members[idx].Name(), req.ID, err))

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/skipsim/skip/internal/hw"
 	"github.com/skipsim/skip/internal/serve"
@@ -72,7 +73,13 @@ func ParsePolicy(name string) (Policy, error) {
 	case "platform-aware", "platform":
 		return PlatformAware, nil
 	}
-	return 0, fmt.Errorf("cluster: unknown routing policy %q (have round-robin|least-queue|least-kv|session-affinity|platform-aware)", name)
+	// The valid-name list derives from Policies() so it can't drift
+	// from the policies that actually exist.
+	names := make([]string, 0, len(Policies()))
+	for _, p := range Policies() {
+		names = append(names, p.String())
+	}
+	return 0, fmt.Errorf("cluster: unknown routing policy %q (have %s)", name, strings.Join(names, "|"))
 }
 
 // Policies lists the routing policies in presentation order.
@@ -175,24 +182,31 @@ func (r *router) pick(req serve.Request, instances []*serve.Instance) int {
 		}
 		return leastOutstanding(req, instances)
 	case PlatformAware:
-		if req.PromptLen <= 0 {
-			// Unknown length (the instance will fall back to its
-			// configured Seq): no regime signal, balance neutrally.
-			return leastOutstanding(req, instances)
-		}
-		wantCoupled := req.PromptLen <= r.shortPrompt
-		if idx := leastBy(req, instances, func(in *serve.Instance) float64 {
-			if coupled(in) != wantCoupled {
-				return -1 // filtered
-			}
-			return float64(in.Outstanding())
-		}); idx >= 0 {
-			return idx
-		}
-		return leastOutstanding(req, instances)
+		return pickPlatformAware(req, instances, r.shortPrompt)
 	default: // LeastQueue
 		return leastOutstanding(req, instances)
 	}
+}
+
+// pickPlatformAware is the stateless regime-split pick, factored out so
+// counterfactual scoring can replay it read-only against live fleet
+// state without touching router internals.
+func pickPlatformAware(req serve.Request, instances []*serve.Instance, shortPrompt int64) int {
+	if req.PromptLen <= 0 {
+		// Unknown length (the instance will fall back to its
+		// configured Seq): no regime signal, balance neutrally.
+		return leastOutstanding(req, instances)
+	}
+	wantCoupled := req.PromptLen <= shortPrompt
+	if idx := leastBy(req, instances, func(in *serve.Instance) float64 {
+		if coupled(in) != wantCoupled {
+			return -1 // filtered
+		}
+		return float64(in.Outstanding())
+	}); idx >= 0 {
+		return idx
+	}
+	return leastOutstanding(req, instances)
 }
 
 func coupled(in *serve.Instance) bool {

@@ -66,6 +66,11 @@ type Stats struct {
 	// autoscale/faults section stay bit-identical to the static path.
 	// When present, the headline Goodput above is goodput under chaos.
 	Chaos *ChaosStats `json:",omitempty"`
+
+	// Routing carries per-decision records and counterfactual policy
+	// replays. Nil (and omitted from JSON) unless Config.CounterfactualK
+	// was set, so default reports stay bit-identical.
+	Routing *RoutingStats `json:",omitempty"`
 }
 
 // ChaosStats is the churn ledger of a dynamic fleet. Counters balance
@@ -157,6 +162,7 @@ func (f *fleetSim) assembleStats() *Stats {
 		f.chaos.FinalActive = f.activeCount()
 		st.Chaos = f.chaos
 	}
+	st.Routing = f.rec.Stats()
 	return st
 }
 

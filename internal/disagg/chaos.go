@@ -354,6 +354,9 @@ func (d *dsim) requeue(now sim.Time, ev serve.Evicted) {
 			d.emit(now, serve.EventUnroutable, req, "", "")
 			return
 		}
+		if d.prefillRec != nil {
+			d.prefillRec.Record(now, req, d.prefillPool, p, true, 0)
+		}
 		src := d.prefillIdx[p]
 		m := d.members[src]
 		var err error
@@ -377,6 +380,9 @@ func (d *dsim) requeue(now sim.Time, ev serve.Evicted) {
 		d.chaos.Dropped++
 		d.emit(now, serve.EventUnroutable, req, "", "")
 		return
+	}
+	if d.decodeRec != nil {
+		d.decodeRec.Record(now, req, d.decodePool, p, true, 0)
 	}
 	dst := d.members[d.decodeIdx[p]]
 	if err := dst.in.AcceptRequeued(now, ev); err != nil {

@@ -130,6 +130,13 @@ type Config struct {
 	// degraded-link faults (see cluster.FaultsConfig; Target and Dst
 	// index the flattened member list in group order).
 	Faults *cluster.FaultsConfig
+	// CounterfactualK, when positive, records every prefill- and
+	// decode-pool routing decision with up to K scored alternatives and
+	// counterfactual policy replays (Stats.PrefillRouting /
+	// Stats.DecodeRouting). Decode records carry the chosen link's FIFO
+	// backlog at pick time. Zero keeps recording off and both sections
+	// absent.
+	CounterfactualK int
 }
 
 func (c *Config) validate() error {
@@ -234,6 +241,9 @@ type dsim struct {
 
 	prefillRouter, decodeRouter *cluster.Router
 	admit                       *cluster.TokenBucket
+	// prefillRec / decodeRec record per-pool routing decisions for
+	// counterfactual scoring; nil when Config.CounterfactualK is zero.
+	prefillRec, decodeRec *cluster.DecisionRecorder
 
 	bytesPerTok float64
 	// links maps a (src,dst) member pair to its busy-until instant
@@ -377,6 +387,9 @@ func (d *dsim) land(at sim.Time, src, dst int, h serve.Handoff, bytes float64, l
 			d.emit(at, serve.EventUnroutable, h.Req, d.members[src].in.Name(), "")
 			return
 		}
+		if d.decodeRec != nil {
+			d.decodeRec.Record(at, hr, d.decodePool, nd, true, d.linkWait(at, src, d.decodeIdx[nd]))
+		}
 		d.ship(at, src, d.decodeIdx[nd], h, bytes)
 		return
 	}
@@ -405,7 +418,21 @@ func (d *dsim) handoff(now sim.Time, src int, h serve.Handoff) {
 		d.emit(now, serve.EventUnroutable, h.Req, d.members[src].in.Name(), "")
 		return
 	}
+	if d.decodeRec != nil {
+		d.decodeRec.Record(now, hr, d.decodePool, p, false, d.linkWait(now, src, d.decodeIdx[p]))
+	}
 	d.ship(now, src, d.decodeIdx[p], h, float64(h.KVLen)*d.bytesPerTok)
+}
+
+// linkWait reports the (src,dst) link's FIFO backlog at now — how long
+// a cache shipped this instant would wait before its wire time starts.
+// This is the link-occupancy signal a decode decision record carries
+// (the transfer-aware-placement follow-up's observability half).
+func (d *dsim) linkWait(now sim.Time, src, dst int) sim.Time {
+	if busy := d.links[[2]int{src, dst}]; busy > now {
+		return busy - now
+	}
+	return 0
 }
 
 // route places one front-door arrival on the prefill pool.
@@ -423,6 +450,9 @@ func (d *dsim) route(now sim.Time, req serve.Request) {
 		d.unroutable++
 		d.emit(now, serve.EventUnroutable, req, "", "")
 		return
+	}
+	if d.prefillRec != nil {
+		d.prefillRec.Record(now, req, d.prefillPool, p, false, 0)
 	}
 	src := d.prefillIdx[p]
 	m := d.members[src]
@@ -476,6 +506,10 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 	}
 	d.prefillRouter = cluster.NewRouter(cfg.PrefillPolicy, cfg.ShortPrompt)
 	d.decodeRouter = cluster.NewRouter(cfg.DecodePolicy, cfg.ShortPrompt)
+	if cfg.CounterfactualK > 0 {
+		d.prefillRec = cluster.NewDecisionRecorder(cfg.PrefillPolicy, cfg.ShortPrompt, cfg.CounterfactualK)
+		d.decodeRec = cluster.NewDecisionRecorder(cfg.DecodePolicy, cfg.ShortPrompt, cfg.CounterfactualK)
+	}
 	if cfg.AdmitRatePerSec > 0 {
 		d.admit = cluster.NewTokenBucket(cfg.AdmitRatePerSec, cfg.AdmitBurst)
 	}

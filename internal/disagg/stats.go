@@ -90,6 +90,13 @@ type Stats struct {
 	// pre-refactor output.
 	Chaos *cluster.ChaosStats `json:",omitempty"`
 
+	// PrefillRouting / DecodeRouting carry per-pool decision records and
+	// counterfactual replays; nil unless Config.CounterfactualK was set.
+	// Decode decisions additionally record the chosen link's FIFO
+	// backlog at pick time (Decision.LinkWait).
+	PrefillRouting *cluster.RoutingStats `json:",omitempty"`
+	DecodeRouting  *cluster.RoutingStats `json:",omitempty"`
+
 	Instances []InstanceStats
 }
 
@@ -161,6 +168,8 @@ func (d *dsim) assembleStats() *Stats {
 		d.chaos.FinalActive = d.activeCount()
 		st.Chaos = d.chaos
 	}
+	st.PrefillRouting = d.prefillRec.Stats()
+	st.DecodeRouting = d.decodeRec.Stats()
 	return st
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"github.com/skipsim/skip/internal/sim"
@@ -116,6 +117,12 @@ func (t EventType) String() string {
 // fixed spec and seed the event stream is deterministic — order
 // included.
 type Event struct {
+	// Seq numbers the event within its run's stream, starting at 1 and
+	// strictly increasing — a total order that survives serialization,
+	// so two JSONL dumps of the same spec and seed diff line-for-line.
+	// The spec.Simulate dispatcher stamps it; events observed through
+	// lower-level entry points carry Seq 0.
+	Seq  int64
 	Time sim.Time
 	Type EventType
 	// RequestID identifies the request (absent for EventProgress).
@@ -177,6 +184,27 @@ func (e Event) String() string {
 		s += " link=" + e.Link
 	}
 	return s
+}
+
+// MarshalJSON renders the event as one compact JSONL-friendly object
+// with stable snake_case keys: `{"seq":…,"t_ns":…,"type":"admitted",…}`.
+// The type is its string name, the time its raw virtual-nanosecond
+// count. RequestID serializes unconditionally (request 0 is real);
+// everything optional is omitted when empty.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Seq       int64  `json:"seq"`
+		TimeNs    int64  `json:"t_ns"`
+		Type      string `json:"type"`
+		RequestID int    `json:"req"`
+		SessionID int64  `json:"session,omitempty"`
+		Instance  string `json:"instance,omitempty"`
+		Link      string `json:"link,omitempty"`
+		Detail    string `json:"detail,omitempty"`
+		Completed int    `json:"completed,omitempty"`
+		Total     int    `json:"total,omitempty"`
+	}{e.Seq, int64(e.Time), e.Type.String(), e.RequestID,
+		e.SessionID, e.Instance, e.Link, e.Detail, e.Completed, e.Total})
 }
 
 // Observer receives simulation events as they happen. Observers must

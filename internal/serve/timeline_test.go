@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/skipsim/skip/internal/sim"
+	"github.com/skipsim/skip/internal/trace"
+)
+
+// feed drives a builder with a synthetic event stream.
+func feed(b *TimelineBuilder, events []Event) {
+	for _, e := range events {
+		b.Observe(e)
+	}
+}
+
+func ms(n int64) sim.Time { return sim.Time(n) * sim.Millisecond }
+
+func TestTimelineSingleInstanceLifecycle(t *testing.T) {
+	b := NewTimelineBuilder()
+	feed(b, []Event{
+		{Time: ms(0), Type: EventArrival, RequestID: 1},
+		{Time: ms(5), Type: EventAdmitted, RequestID: 1},
+		{Time: ms(30), Type: EventFirstToken, RequestID: 1},
+		{Time: ms(90), Type: EventCompleted, RequestID: 1},
+	})
+	if err := b.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	tls := b.Timelines()
+	if len(tls) != 1 {
+		t.Fatalf("got %d timelines, want 1", len(tls))
+	}
+	tl := tls[0]
+	if tl.Outcome != "completed" || tl.FirstTokens != 1 {
+		t.Fatalf("outcome %q firstTokens %d, want completed/1", tl.Outcome, tl.FirstTokens)
+	}
+	wantKinds := []SegmentKind{SegQueue, SegPrefill, SegDecode}
+	if len(tl.Segments) != len(wantKinds) {
+		t.Fatalf("got %d segments %v, want %d", len(tl.Segments), tl.Segments, len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if tl.Segments[i].Kind != k {
+			t.Errorf("segment %d kind = %s, want %s", i, tl.Segments[i].Kind, k)
+		}
+	}
+	// The spans tile the request's life exactly: queue 0-5, prefill
+	// 5-30, decode 30-90.
+	if tl.Segments[0].Start != 0 || tl.Segments[2].End != ms(90) {
+		t.Errorf("timeline spans [%v, %v], want [0, 90ms]", tl.Segments[0].Start, tl.Segments[2].End)
+	}
+	for i := 1; i < len(tl.Segments); i++ {
+		if tl.Segments[i].Start != tl.Segments[i-1].End {
+			t.Errorf("gap between segment %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestTimelinePreemptionSplitsDecode(t *testing.T) {
+	b := NewTimelineBuilder()
+	feed(b, []Event{
+		{Time: ms(0), Type: EventArrival, RequestID: 7},
+		{Time: ms(1), Type: EventAdmitted, RequestID: 7},
+		{Time: ms(10), Type: EventFirstToken, RequestID: 7},
+		{Time: ms(20), Type: EventPreempted, RequestID: 7},
+		{Time: ms(40), Type: EventAdmitted, RequestID: 7},
+		{Time: ms(80), Type: EventCompleted, RequestID: 7},
+	})
+	if err := b.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	tl := b.Timelines()[0]
+	wantKinds := []SegmentKind{SegQueue, SegPrefill, SegDecode, SegRequeue, SegDecode}
+	if len(tl.Segments) != len(wantKinds) {
+		t.Fatalf("segments = %v, want kinds %v", tl.Segments, wantKinds)
+	}
+	for i, k := range wantKinds {
+		if tl.Segments[i].Kind != k {
+			t.Errorf("segment %d kind = %s, want %s", i, tl.Segments[i].Kind, k)
+		}
+	}
+	// The decode span the preemption cut carries the note; re-admission
+	// resumes decode (not prefill) because the first token already went
+	// out — and TTFT is still sampled exactly once.
+	if tl.Segments[2].Note != "preempted" {
+		t.Errorf("cut decode span note = %q, want preempted", tl.Segments[2].Note)
+	}
+	if tl.FirstTokens != 1 {
+		t.Errorf("FirstTokens = %d, want 1", tl.FirstTokens)
+	}
+}
+
+func TestTimelineTransferRelabelsStallAndUsesLinkThread(t *testing.T) {
+	b := NewTimelineBuilder()
+	feed(b, []Event{
+		{Time: ms(0), Type: EventRouted, RequestID: 3, Instance: "pre#0"},
+		{Time: ms(0), Type: EventArrival, RequestID: 3, Instance: "pre#0"},
+		{Time: ms(1), Type: EventAdmitted, RequestID: 3, Instance: "pre#0"},
+		{Time: ms(10), Type: EventFirstToken, RequestID: 3, Instance: "pre#0"},
+		// The wire was busy until 14: the decode-shaped span 10-14 was
+		// really a stall.
+		{Time: ms(14), Type: EventKVTransferStart, RequestID: 3, Instance: "pre#0", Link: "pre#0->dec#0"},
+		{Time: ms(18), Type: EventKVTransferDone, RequestID: 3, Instance: "dec#0", Link: "pre#0->dec#0"},
+		{Time: ms(18), Type: EventArrival, RequestID: 3, Instance: "dec#0"},
+		{Time: ms(19), Type: EventAdmitted, RequestID: 3, Instance: "dec#0"},
+		{Time: ms(60), Type: EventCompleted, RequestID: 3, Instance: "dec#0"},
+	})
+	if err := b.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	tl := b.Timelines()[0]
+	wantKinds := []SegmentKind{SegQueue, SegPrefill, SegStall, SegTransfer, SegQueue, SegDecode}
+	if len(tl.Segments) != len(wantKinds) {
+		t.Fatalf("segments = %v, want kinds %v", tl.Segments, wantKinds)
+	}
+	for i, k := range wantKinds {
+		if tl.Segments[i].Kind != k {
+			t.Errorf("segment %d kind = %s, want %s", i, tl.Segments[i].Kind, k)
+		}
+	}
+	tr := b.Trace()
+	// Thread layout: instances on TIDs 1..N in first-appearance order,
+	// the link on 1001.
+	if tr.Threads[1] != "pre#0" || tr.Threads[2] != "dec#0" || tr.Threads[1001] != "link pre#0->dec#0" {
+		t.Fatalf("thread layout = %v", tr.Threads)
+	}
+	for _, ev := range tr.Events {
+		if ev.Cat == trace.CatTransfer && ev.TID != 1001 {
+			t.Errorf("transfer span on TID %d, want 1001", ev.TID)
+		}
+		if ev.Req != 3 {
+			t.Errorf("span %q carries request %d, want 3", ev.Name, ev.Req)
+		}
+	}
+}
+
+func TestTimelineZeroLengthStallDropped(t *testing.T) {
+	b := NewTimelineBuilder()
+	feed(b, []Event{
+		{Time: ms(0), Type: EventArrival, RequestID: 4, Instance: "pre#0"},
+		{Time: ms(1), Type: EventAdmitted, RequestID: 4, Instance: "pre#0"},
+		{Time: ms(10), Type: EventFirstToken, RequestID: 4, Instance: "pre#0"},
+		// A free link: the transfer starts the instant prefill finished.
+		{Time: ms(10), Type: EventKVTransferStart, RequestID: 4, Instance: "pre#0", Link: "l"},
+		{Time: ms(12), Type: EventKVTransferDone, RequestID: 4, Instance: "dec#0", Link: "l"},
+		{Time: ms(12), Type: EventArrival, RequestID: 4, Instance: "dec#0"},
+		{Time: ms(12), Type: EventAdmitted, RequestID: 4, Instance: "dec#0"},
+		{Time: ms(40), Type: EventCompleted, RequestID: 4, Instance: "dec#0"},
+	})
+	if err := b.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range b.Timelines()[0].Segments {
+		if seg.Kind == SegStall {
+			t.Errorf("zero-length stall survived: %+v", seg)
+		}
+	}
+}
+
+func TestTimelineReconcileCatchesOpenSegment(t *testing.T) {
+	b := NewTimelineBuilder()
+	feed(b, []Event{
+		{Time: ms(0), Type: EventArrival, RequestID: 9},
+		{Time: ms(1), Type: EventAdmitted, RequestID: 9},
+	})
+	err := b.Reconcile()
+	if err == nil || !strings.Contains(err.Error(), "open") {
+		t.Fatalf("Reconcile() = %v, want open-segment error", err)
+	}
+}
+
+func TestTimelineTraceRoundTrip(t *testing.T) {
+	b := NewTimelineBuilder()
+	feed(b, []Event{
+		{Time: ms(0), Type: EventRouted, RequestID: 2, Instance: "a"},
+		{Time: ms(0), Type: EventArrival, RequestID: 2, Instance: "a"},
+		{Time: ms(2), Type: EventAdmitted, RequestID: 2, Instance: "a"},
+		{Time: ms(9), Type: EventFirstToken, RequestID: 2, Instance: "a"},
+		{Time: ms(30), Type: EventCompleted, RequestID: 2, Instance: "a"},
+	})
+	tr := b.Trace()
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip kept %d events, want %d", len(back.Events), len(tr.Events))
+	}
+	if back.Threads[1] != "a" {
+		t.Errorf("thread name lost in round trip: %v", back.Threads)
+	}
+	for i, ev := range back.Events {
+		if ev.Req != tr.Events[i].Req || ev.Cat != tr.Events[i].Cat || ev.Name != tr.Events[i].Name {
+			t.Errorf("event %d round trip mismatch: got %+v want %+v", i, ev, tr.Events[i])
+		}
+	}
+}

@@ -129,6 +129,13 @@ func TestObserverEventOrderGolden(t *testing.T) {
 		if _, err := Simulate(s, WithObserver(func(e serve.Event) { events = append(events, e) })); err != nil {
 			t.Fatal(err)
 		}
+		// Strict Seq ordering: the stamp numbers the stream 1, 2, 3, …
+		// with no gaps or repeats.
+		for i, e := range events {
+			if e.Seq != int64(i+1) {
+				t.Fatalf("event %d has Seq %d, want %d", i, e.Seq, i+1)
+			}
+		}
 		return events
 	}
 	perRequest := func(events []serve.Event) map[int][]string {

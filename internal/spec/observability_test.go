@@ -1,0 +1,243 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/skipsim/skip/internal/serve"
+)
+
+// TestChaosTimelineContiguous: a request killed by a crash and requeued
+// on a surviving instance must assemble into one contiguous timeline —
+// an eviction-noted span, a requeue gap starting the same instant, and
+// exactly one TTFT span — and the timeline population must reconcile
+// with the report's ledger.
+func TestChaosTimelineContiguous(t *testing.T) {
+	s := chaosFleetBase(t)
+	tb := serve.NewTimelineBuilder()
+	rep, err := Simulate(s, WithObserver(tb.Observe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Cluster
+	if st.Chaos == nil || st.Chaos.Requeued == 0 {
+		t.Fatalf("chaos spec produced no requeues (chaos=%+v); the test needs a crashed-and-requeued request", st.Chaos)
+	}
+
+	var requeued, completed, dropped, rejected int
+	for _, tl := range tb.Timelines() {
+		switch tl.Outcome {
+		case "completed":
+			completed++
+		case "dropped":
+			dropped++
+		case "rejected":
+			rejected++
+		}
+		requeued += tl.Requeues
+		if tl.Requeues == 0 {
+			continue
+		}
+		// The eviction gap: an "evicted" close immediately followed by a
+		// requeue span starting the same instant — no hole, no overlap.
+		evictions := 0
+		for i, seg := range tl.Segments {
+			if seg.Note != "evicted" {
+				continue
+			}
+			evictions++
+			if i+1 >= len(tl.Segments) {
+				t.Fatalf("request %d: eviction is the last segment of a requeued timeline: %+v", tl.RequestID, tl.Segments)
+			}
+			next := tl.Segments[i+1]
+			if next.Kind != serve.SegRequeue {
+				t.Errorf("request %d: segment after eviction is %s, want requeue", tl.RequestID, next.Kind)
+			}
+			if next.Start != seg.End {
+				t.Errorf("request %d: requeue gap starts at %v, eviction ended at %v", tl.RequestID, next.Start, seg.End)
+			}
+		}
+		if evictions == 0 {
+			t.Errorf("request %d requeued %d times but carries no evicted span", tl.RequestID, tl.Requeues)
+		}
+		if tl.Outcome == "completed" && tl.FirstTokens != 1 {
+			t.Errorf("requeued-and-completed request %d has %d TTFT spans, want exactly 1", tl.RequestID, tl.FirstTokens)
+		}
+	}
+
+	// Ledger reconciliation: every outcome class in the timelines matches
+	// the report's counters, and killed = requeued + dropped.
+	if completed != st.Completed {
+		t.Errorf("timelines show %d completions, ledger says %d", completed, st.Completed)
+	}
+	if requeued != st.Chaos.Requeued {
+		t.Errorf("timelines show %d requeues, chaos ledger says %d", requeued, st.Chaos.Requeued)
+	}
+	if dropped != st.Chaos.Dropped {
+		t.Errorf("timelines show %d drops, chaos ledger says %d", dropped, st.Chaos.Dropped)
+	}
+	if rejected != st.Rejected {
+		t.Errorf("timelines show %d rejections, ledger says %d", rejected, st.Rejected)
+	}
+	if st.Chaos.Killed != st.Chaos.Requeued+st.Chaos.Dropped {
+		t.Errorf("chaos ledger broken: killed %d != requeued %d + dropped %d",
+			st.Chaos.Killed, st.Chaos.Requeued, st.Chaos.Dropped)
+	}
+}
+
+// TestCounterfactualDecisionsBitIdentical: the decision-record section
+// must reproduce byte for byte across two seeded runs — under chaos,
+// requeues included — and the pick count must cover every placement.
+func TestCounterfactualDecisionsBitIdentical(t *testing.T) {
+	run := func() *Report {
+		s := chaosFleetBase(t)
+		s.Observability = &ObservabilitySpec{CounterfactualK: 3}
+		rep, err := Simulate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Cluster.Routing == nil {
+		t.Fatal("counterfactual_k set but the report carries no routing section")
+	}
+	aj, err := json.Marshal(a.Cluster.Routing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b.Cluster.Routing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("routing decision records differ across two runs of the same seeded spec")
+	}
+
+	rt := a.Cluster.Routing
+	if want := a.Cluster.Routed + a.Cluster.Chaos.Requeued; rt.Picks != want {
+		t.Errorf("Picks = %d, want routed %d + requeued %d = %d",
+			rt.Picks, a.Cluster.Routed, a.Cluster.Chaos.Requeued, want)
+	}
+	if len(rt.Decisions) != rt.Picks {
+		t.Errorf("recorded %d decisions for %d picks", len(rt.Decisions), rt.Picks)
+	}
+	for _, cf := range rt.Counterfactuals {
+		if cf.Picks != rt.Picks || cf.Agreed+cf.Differed != cf.Picks {
+			t.Errorf("counterfactual %s: picks %d (agreed %d + differed %d), want %d",
+				cf.Policy, cf.Picks, cf.Agreed, cf.Differed, rt.Picks)
+		}
+		if cf.Policy == rt.Policy {
+			t.Errorf("active policy %s replayed against itself", cf.Policy)
+		}
+	}
+	for _, d := range rt.Decisions {
+		if len(d.Alternatives) > rt.K {
+			t.Errorf("decision for request %d stores %d alternatives, cap is %d",
+				d.RequestID, len(d.Alternatives), rt.K)
+		}
+	}
+}
+
+// TestRoutingGolden pins the full decision-record JSON of a small static
+// fleet run. A diff here means the routing observability surface changed
+// shape or the decision sequence itself moved — both are
+// report-breaking and must be deliberate.
+func TestRoutingGolden(t *testing.T) {
+	s := testFleetSpec()
+	s.Observability = &ObservabilitySpec{CounterfactualK: 2}
+	rep, err := Simulate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep.Cluster.Routing, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "golden_routing_decisions.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1 go test ./internal/spec -run TestRoutingGolden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("routing decision records drifted from the golden file\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestObservabilityOffKeepsReportsIdentical: a spec with no
+// observability section and one with counterfactual_k 0 must produce
+// byte-identical reports — the feature leaves no residue when off.
+func TestObservabilityOffKeepsReportsIdentical(t *testing.T) {
+	plain, err := Simulate(testFleetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testFleetSpec()
+	s.Observability = &ObservabilitySpec{}
+	zero, err := Simulate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, _ := ReportJSON(plain)
+	zj, _ := ReportJSON(zero)
+	if !bytes.Equal(pj, zj) {
+		t.Fatal("counterfactual_k 0 changed the report")
+	}
+	if strings.Contains(string(pj), "Routing") {
+		t.Fatal("default report carries a Routing section")
+	}
+}
+
+func TestObservabilityValidation(t *testing.T) {
+	s := testFleetSpec()
+	s.Observability = &ObservabilitySpec{CounterfactualK: -1}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "counterfactual_k") {
+		t.Errorf("negative counterfactual_k: err = %v", err)
+	}
+	sv := testServeSpec()
+	sv.Observability = &ObservabilitySpec{CounterfactualK: 2}
+	if err := sv.Validate(); err == nil || !strings.Contains(err.Error(), "fleet") {
+		t.Errorf("counterfactual_k without a fleet: err = %v", err)
+	}
+	// k = 0 on a serve spec is a no-op, not an error.
+	sv.Observability.CounterfactualK = 0
+	if err := sv.Validate(); err != nil {
+		t.Errorf("counterfactual_k 0 should validate, got %v", err)
+	}
+}
+
+// TestDisaggCounterfactualPerPool: a disaggregated run records decisions
+// per pool, and decode decisions carry the link backlog.
+func TestDisaggCounterfactualPerPool(t *testing.T) {
+	s := testDisaggSpec()
+	s.Observability = &ObservabilitySpec{CounterfactualK: 2}
+	rep, err := Simulate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Disagg
+	if st.PrefillRouting == nil || st.DecodeRouting == nil {
+		t.Fatalf("per-pool routing sections missing: prefill=%v decode=%v", st.PrefillRouting, st.DecodeRouting)
+	}
+	if st.PrefillRouting.Picks != st.Routed {
+		t.Errorf("prefill picks %d, want routed %d", st.PrefillRouting.Picks, st.Routed)
+	}
+	// Static fleet: every handoff is picked exactly once and resumes.
+	if st.DecodeRouting.Picks != st.Resumed {
+		t.Errorf("decode picks %d, want resumed %d", st.DecodeRouting.Picks, st.Resumed)
+	}
+}

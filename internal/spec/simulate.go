@@ -37,9 +37,22 @@ type Report struct {
 	SweepField string       `json:"sweep_field,omitempty"`
 	Sweep      []SweepPoint `json:"sweep,omitempty"`
 
+	// Metrics is the derived series a report.metrics section selects:
+	// one entry per requested path, absent otherwise.
+	Metrics []Metric `json:"metrics,omitempty"`
+
 	// Offered is the workload's request count (serve, cluster, and
 	// disagg kinds).
 	Offered int `json:"offered,omitempty"`
+}
+
+// Metric is one extracted series: Values holds a single element for a
+// plain run and one element per sweep point (in value order) for a
+// sweep. Values carries legitimate zeros, so it has no omitempty.
+type Metric struct {
+	Name   string    `json:"name"`
+	Path   string    `json:"path"`
+	Values []float64 `json:"values"`
 }
 
 // ReportJSON renders a Report as indented JSON with a stable field
@@ -102,17 +115,44 @@ func Simulate(s *Spec, opts ...Option) (*Report, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.observer != nil {
+		o.observer = stampSeq(o.observer)
+	}
+	var rep *Report
+	var err error
 	switch s.Kind() {
 	case KindSweep:
-		return s.simulateSweep(&o)
+		rep, err = s.simulateSweep(&o)
 	case KindRun:
-		return s.simulateRun()
+		rep, err = s.simulateRun()
 	case KindServe:
-		return s.simulateServe(&o)
+		rep, err = s.simulateServe(&o)
 	case KindDisagg:
-		return s.simulateDisagg(&o)
+		rep, err = s.simulateDisagg(&o)
 	default:
-		return s.simulateCluster(&o)
+		rep, err = s.simulateCluster(&o)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.Report != nil {
+		if err := s.attachMetrics(rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// stampSeq numbers the event stream: every event the observer sees
+// carries a strictly increasing Seq, starting at 1. Sweep points
+// re-wrap the already-stamped observer; the outer (whole-run) stamp is
+// applied last, so one global sequence spans all points in order.
+func stampSeq(obs serve.Observer) serve.Observer {
+	var seq int64
+	return func(e serve.Event) {
+		seq++
+		e.Seq = seq
+		obs(e)
 	}
 }
 
@@ -298,6 +338,9 @@ func (s *Spec) simulateCluster(o *options) (*Report, error) {
 		AdmitBurst:      f.AdmitBurst,
 		Observer:        progressObserver(o.observer, len(reqs), o.progressEvery),
 	}
+	if s.Observability != nil {
+		ccfg.CounterfactualK = s.Observability.CounterfactualK
+	}
 	if f.Autoscale != nil {
 		ccfg.Autoscale, err = f.Autoscale.config(base)
 		if err != nil {
@@ -360,6 +403,9 @@ func (s *Spec) simulateDisagg(o *options) (*Report, error) {
 		AdmitRatePerSec: f.AdmitRatePerSec,
 		AdmitBurst:      f.AdmitBurst,
 		Observer:        progressObserver(o.observer, len(reqs), o.progressEvery),
+	}
+	if s.Observability != nil {
+		dcfg.CounterfactualK = s.Observability.CounterfactualK
 	}
 	if f.Autoscale != nil {
 		dcfg.Autoscale, err = f.Autoscale.config(base)

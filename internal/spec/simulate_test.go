@@ -141,6 +141,14 @@ func TestObserverEventOrdering(t *testing.T) {
 		}
 	}
 
+	// Seq numbers the stream 1, 2, 3, … with no gaps or repeats, so a
+	// JSONL dump diffs cleanly across runs.
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has Seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+
 	// Per-request lifecycle order: routed → arrival → admitted →
 	// first-token → completed, with the routed instance matching the
 	// serving instance.

@@ -57,6 +57,12 @@ type Spec struct {
 	// Sweep runs the experiment once per value of one document field and
 	// returns a Report series (Kind "sweep") instead of a single result.
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Observability turns on request-level instrumentation that default
+	// runs omit: routing decision records with counterfactual scoring.
+	Observability *ObservabilitySpec `json:"observability,omitempty"`
+	// Report derives named metric series from the result document:
+	// report leaves selected by JSON path, extracted per sweep point.
+	Report *ReportSpec `json:"report,omitempty"`
 
 	// baseDir is the directory relative file references (trace_file,
 	// platform_file) resolve against; Load sets it to the spec file's
@@ -95,6 +101,38 @@ type SweepSpec struct {
 	// Scale spaces the range points: "linear" (the default) or "log"
 	// (geometric spacing; needs positive from and to).
 	Scale string `json:"scale,omitempty"`
+}
+
+// ObservabilitySpec enables request-level instrumentation. All knobs
+// default off, so a spec without this section reports bit-identically
+// to one that never had it.
+type ObservabilitySpec struct {
+	// CounterfactualK, when positive, records every routing decision
+	// (fleet specs only) with up to K scored alternatives, plus replays
+	// of the stateless policies over the same picks — the report then
+	// carries cluster.Routing or disagg.PrefillRouting/DecodeRouting.
+	CounterfactualK int `json:"counterfactual_k,omitempty"`
+}
+
+// MetricSpec names one report leaf to extract as a flat series.
+type MetricSpec struct {
+	// Name labels the series; empty defaults to Path.
+	Name string `json:"name,omitempty"`
+	// Path is the leaf's JSON path from the report root, e.g.
+	// "serve.P95TTFT", "cluster.Goodput", "cluster.Chaos.Killed",
+	// "disagg.Instances[0].Serve.TokensPerSec". Section names use the
+	// report's JSON keys; struct fields use their Go names (the report
+	// structs serialize field names verbatim). Only numeric leaves are
+	// extractable.
+	Path string `json:"path"`
+}
+
+// ReportSpec selects derived metrics: each named leaf is extracted from
+// the finished report — once for a single run, once per point for a
+// sweep — and surfaced as Report.Metrics, a flat named series that
+// spares consumers walking nested report documents.
+type ReportSpec struct {
+	Metrics []MetricSpec `json:"metrics"`
 }
 
 // RunSpec describes a single engine inference.

@@ -262,6 +262,9 @@ func (s *Spec) pointSpec(v any) (*Spec, error) {
 		return nil, err
 	}
 	c.Sweep = nil
+	// Metrics are extracted once over the assembled series; a point
+	// carrying the report section would duplicate them per point.
+	c.Report = nil
 	leaf, err := resolveField(c, s.Sweep.Field)
 	if err != nil {
 		return nil, err

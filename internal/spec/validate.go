@@ -111,12 +111,60 @@ func (s *Spec) Validate() error {
 		}
 	}
 
+	if s.Observability != nil {
+		if err := s.Observability.validate(s); err != nil {
+			return err
+		}
+	}
+	if s.Report != nil {
+		if err := s.Report.validate(s); err != nil {
+			return err
+		}
+	}
+
 	// The sweep section last: its field path resolves against the
 	// now-known-coherent base document.
 	if s.Sweep != nil {
 		if err := s.Sweep.validate(s); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+func (ob *ObservabilitySpec) validate(s *Spec) error {
+	if ob.CounterfactualK < 0 {
+		return errAt("observability.counterfactual_k", "must be non-negative, got %d", ob.CounterfactualK)
+	}
+	if ob.CounterfactualK > 0 && s.Fleet == nil {
+		return errAt("observability.counterfactual_k", "routing decision records need a fleet section")
+	}
+	return nil
+}
+
+// validate checks the report section: every metric path must type-check
+// against the report shape the spec's base kind produces, and series
+// names must be unique. Presence (a nil Chaos section, an index past the
+// instance count) is a property of the finished report and surfaces at
+// extraction time with the offending path named.
+func (r *ReportSpec) validate(s *Spec) error {
+	if len(r.Metrics) == 0 {
+		return errAt("report.metrics", "needs at least one metric")
+	}
+	seen := make(map[string]bool)
+	for i, m := range r.Metrics {
+		path := fmt.Sprintf("report.metrics[%d]", i)
+		if m.Path == "" {
+			return errAt(path+".path", "required")
+		}
+		if err := checkMetricPath(s.baseKind(), m.Path); err != nil {
+			return errAt(path+".path", "%v", err)
+		}
+		name := m.name()
+		if seen[name] {
+			return errAt(path+".name", "duplicate metric name %q", name)
+		}
+		seen[name] = true
 	}
 	return nil
 }
@@ -135,6 +183,12 @@ func (sw *SweepSpec) validate(s *Spec) error {
 	// base and then fail every point with a misleading error.
 	if sw.Field == "sweep" || strings.HasPrefix(sw.Field, "sweep.") || strings.HasPrefix(sw.Field, "sweep[") {
 		return errAt("sweep.field", "cannot sweep the sweep section itself")
+	}
+	// The report section is extracted once over the assembled series (a
+	// point document drops it), so a path rooted there has nothing to
+	// substitute into.
+	if sw.Field == "report" || strings.HasPrefix(sw.Field, "report.") || strings.HasPrefix(sw.Field, "report[") {
+		return errAt("sweep.field", "cannot sweep the report section; metrics are extracted per point already")
 	}
 	leaf, err := resolveField(s, sw.Field)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"github.com/skipsim/skip/internal/sim"
 )
@@ -30,10 +31,23 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteJSON serializes the trace in Chrome trace-event format.
+// WriteJSON serializes the trace in Chrome trace-event format. Named
+// threads (Trace.Threads) lead the stream as "thread_name" metadata
+// events in TID order, which is how Perfetto labels its tracks.
 func (t *Trace) WriteJSON(w io.Writer) error {
 	ct := chromeTrace{Meta: t.Meta, DisplayUnit: "ns"}
-	ct.TraceEvents = make([]chromeEvent, 0, len(t.Events))
+	ct.TraceEvents = make([]chromeEvent, 0, len(t.Events)+len(t.Threads))
+	tids := make([]int, 0, len(t.Threads))
+	for tid := range t.Threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": t.Threads[tid]},
+		})
+	}
 	for _, e := range t.Events {
 		ce := chromeEvent{
 			Name: e.Name,
@@ -50,6 +64,9 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 		}
 		if e.Cat == CatKernel || e.Cat == CatMemcpy {
 			args["stream"] = e.Stream
+		}
+		if e.Cat.RequestSpan() {
+			args["req"] = e.Req
 		}
 		if e.FLOPs > 0 {
 			args["flops"] = e.FLOPs
@@ -79,6 +96,15 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 		t.Meta = ct.Meta
 	}
 	for i, ce := range ct.TraceEvents {
+		if ce.Ph == "M" && ce.Name == "thread_name" {
+			if name, ok := ce.Args["name"].(string); ok {
+				if t.Threads == nil {
+					t.Threads = make(map[int]string)
+				}
+				t.Threads[ce.TID] = name
+			}
+			continue
+		}
 		if ce.Ph != "X" && ce.Ph != "" {
 			continue // only complete events carry timing we use
 		}
@@ -101,6 +127,9 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 			}
 			if v, ok := numArg(ce.Args, "bytes"); ok {
 				e.Bytes = v
+			}
+			if v, ok := numArg(ce.Args, "req"); ok {
+				e.Req = int(v)
 			}
 		}
 		if e.Dur < 0 {

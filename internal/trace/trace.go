@@ -30,7 +30,41 @@ const (
 	CatKernel Category = "kernel"
 	// CatMemcpy marks host↔device copies.
 	CatMemcpy Category = "gpu_memcpy"
+
+	// Request-span categories: serving-layer per-request timeline
+	// segments assembled from the lifecycle event stream (one TID per
+	// serving instance, link TIDs for KV transfers). They carry a Req
+	// id instead of a correlation chain and are ignored by the
+	// kernel-level analyses above.
+
+	// CatQueue marks time a request spent in a wait queue before
+	// admission (including the front-door routing instant).
+	CatQueue Category = "queue"
+	// CatPrefill marks prompt processing: admission to first token.
+	CatPrefill Category = "prefill"
+	// CatDecode marks token generation: first token (or a mid-stream
+	// resume) to completion.
+	CatDecode Category = "decode"
+	// CatStall marks time a prefilled request sat finished on its
+	// prefill instance waiting for its KV transfer to start moving.
+	CatStall Category = "kv_stall"
+	// CatTransfer marks a KV cache moving across an interconnect link;
+	// these spans live on link TIDs, not instance TIDs.
+	CatTransfer Category = "kv_transfer"
+	// CatRequeue marks the gap between a preemption or crash eviction
+	// and the request's next admission.
+	CatRequeue Category = "requeue"
 )
+
+// RequestSpan reports whether the category is a serving-layer request
+// timeline segment (as opposed to a kernel-level profiler event).
+func (c Category) RequestSpan() bool {
+	switch c {
+	case CatQueue, CatPrefill, CatDecode, CatStall, CatTransfer, CatRequeue:
+		return true
+	}
+	return false
+}
 
 // Event is one complete ("ph":"X") trace event.
 type Event struct {
@@ -54,6 +88,10 @@ type Event struct {
 	// reason about compute intensity (optional; zero when unknown).
 	FLOPs float64 `json:"flops,omitempty"`
 	Bytes float64 `json:"bytes,omitempty"`
+	// Req identifies the serving request a request-span category event
+	// belongs to. Only meaningful when Cat.RequestSpan() — request 0 is
+	// real, so presence is keyed on the category, not the value.
+	Req int `json:"req,omitempty"`
 }
 
 // End returns the event's end timestamp.
@@ -74,6 +112,10 @@ type Trace struct {
 	Events []Event
 	// Meta records run provenance: platform, model, batch, mode, etc.
 	Meta map[string]string
+	// Threads names TIDs for the viewer (instance names, link names).
+	// Serialized as Chrome "thread_name" metadata events; nil when the
+	// producer assigns no names.
+	Threads map[int]string
 }
 
 // New returns an empty trace.

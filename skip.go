@@ -590,6 +590,61 @@ func SaveSpec(s *Spec, path string) error { return spec.Save(s, path) }
 // excluded) — the machine-consumable form behind `skip sim -json`.
 func ReportJSON(r *Report) ([]byte, error) { return spec.ReportJSON(r) }
 
+// Observability aliases: request-level span timelines assembled from
+// the event stream (exportable as Perfetto-loadable Chrome traces),
+// routing decision records with counterfactual policy replays, and
+// derived-metric extraction from finished reports. See the serve and
+// cluster package documentation.
+type (
+	// TimelineBuilder assembles per-request span timelines from a
+	// simulation's event stream: install builder.Observe as the
+	// observer, then read Timelines, Reconcile, or export Trace.
+	TimelineBuilder = serve.TimelineBuilder
+	// RequestTimeline is one request's ordered, non-overlapping span
+	// sequence from first sight to terminal outcome.
+	RequestTimeline = serve.RequestTimeline
+	// TimelineSegment is one closed span of a request's life.
+	TimelineSegment = serve.Segment
+	// TimelineSegmentKind classifies a span (queue, prefill, decode,
+	// kv-stall, kv-transfer, requeue).
+	TimelineSegmentKind = serve.SegmentKind
+	// RoutingStats carries a router's decision records and
+	// counterfactual replay summary (Report.Cluster.Routing,
+	// Report.Disagg.PrefillRouting / DecodeRouting).
+	RoutingStats = cluster.RoutingStats
+	// RoutingDecision is one recorded pick with its scored alternatives.
+	RoutingDecision = cluster.Decision
+	// RoutingAltScore is one non-chosen candidate's load snapshot.
+	RoutingAltScore = cluster.AltScore
+	// CounterfactualStat summarizes one replayed policy's agreement with
+	// the picks the active policy actually made.
+	CounterfactualStat = cluster.CounterfactualStat
+	// ObservabilitySpec is the observability section of a Spec.
+	ObservabilitySpec = spec.ObservabilitySpec
+	// ReportSpec is the report section of a Spec: derived-metric
+	// selection by JSON path.
+	ReportSpec = spec.ReportSpec
+	// MetricSpec names one report leaf to extract.
+	MetricSpec = spec.MetricSpec
+	// Metric is one extracted series of a Report (one value per sweep
+	// point; a single value for plain runs).
+	Metric = spec.Metric
+)
+
+// Timeline segment kinds.
+const (
+	SegQueue    = serve.SegQueue
+	SegPrefill  = serve.SegPrefill
+	SegDecode   = serve.SegDecode
+	SegStall    = serve.SegStall
+	SegTransfer = serve.SegTransfer
+	SegRequeue  = serve.SegRequeue
+)
+
+// NewTimelineBuilder returns an empty timeline builder; wire
+// builder.Observe into Simulate via WithObserver.
+func NewTimelineBuilder() *TimelineBuilder { return serve.NewTimelineBuilder() }
+
 // ParseMode maps a mode name ("eager", "flash", "compile-default", …)
 // to an execution Mode.
 func ParseMode(name string) (Mode, error) { return engine.ParseMode(name) }
