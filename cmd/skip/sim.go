@@ -1,10 +1,12 @@
 package main
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	skip "github.com/skipsim/skip"
@@ -23,6 +25,7 @@ func cmdSim(args []string) error {
 	traceOut := fs.String("trace-out", "", "serve/fleet specs: write the per-request span timeline to this Chrome-trace JSON file (Perfetto-loadable)")
 	eventsOut := fs.String("events-out", "", "serve/fleet specs: write the event stream to this file as JSON lines (one event per line, Seq-numbered)")
 	cfK := fs.Int("counterfactual-k", 0, "fleet specs: record every routing decision with up to K scored alternatives plus counterfactual policy replays (overrides observability.counterfactual_k)")
+	metricsCSV := fs.String("metrics-csv", "", "write the report.metrics series to this CSV file (one row per sweep point; needs a report.metrics section)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +128,12 @@ func cmdSim(args []string) error {
 	if *eventsOut != "" {
 		fmt.Fprintf(statusOut, "event stream written to %s\n", *eventsOut)
 	}
+	if *metricsCSV != "" {
+		if err := writeMetricsCSV(*metricsCSV, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(statusOut, "metrics written to %s\n", *metricsCSV)
+	}
 	if *out != "" {
 		tr := traceOf(rep)
 		if tr == nil {
@@ -168,6 +177,47 @@ func printReport(sp *skip.Spec, rep *skip.Report) {
 		printSweepReport(sp, rep)
 	}
 	printMetrics(rep.Metrics)
+}
+
+// writeMetricsCSV exports the derived metric series as CSV: one column
+// per metric, one row per sweep point (a single row for plain runs).
+// Sweep reports lead with a column for the swept field's value, so the
+// file is directly plottable against the sweep axis.
+func writeMetricsCSV(path string, rep *skip.Report) error {
+	if len(rep.Metrics) == 0 {
+		return fmt.Errorf("sim: -metrics-csv needs a report.metrics section in the spec")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	var header []string
+	if rep.SweepField != "" {
+		header = append(header, rep.SweepField)
+	}
+	for _, m := range rep.Metrics {
+		header = append(header, m.Name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	rows := len(rep.Metrics[0].Values)
+	for i := 0; i < rows; i++ {
+		var row []string
+		if rep.SweepField != "" && i < len(rep.Sweep) {
+			row = append(row, fmt.Sprintf("%v", rep.Sweep[i].Value))
+		}
+		for _, m := range rep.Metrics {
+			row = append(row, strconv.FormatFloat(m.Values[i], 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
 }
 
 // printMetrics renders the derived series a report.metrics section
@@ -326,6 +376,7 @@ func printServeReport(sp *skip.Spec, rep *skip.Report) {
 			stats.MeanE2E, stats.P50E2E, stats.P95E2E, stats.MaxE2E)
 		fmt.Printf("  KV cache     peak %.1f%% of %.1f GB budget  (time-weighted mean %.1f%%)\n",
 			stats.PeakKVFrac*100, stats.KVCapacityBytes/1e9, stats.MeanKVFrac*100)
+		printKVCache(stats.KVCache)
 		fmt.Printf("  tokens       %.0f tok/s\n", stats.TokensPerSec)
 		if stats.Preemptions > 0 || stats.Abandoned > 0 {
 			fmt.Printf("  pressure     %d preemptions, %d abandoned, max queue %d\n",
@@ -362,6 +413,7 @@ func printClusterReport(sp *skip.Spec, rep *skip.Report) {
 	}
 	fmt.Println()
 	fmt.Printf("  imbalance    %.3f (CV of per-instance routed counts)\n", stats.LoadImbalance)
+	printKVCache(stats.KVCache)
 	printChaos(stats.Chaos)
 	printRouting("routing", stats.Routing)
 	fmt.Println()
@@ -497,6 +549,7 @@ func printDisaggReport(sp *skip.Spec, rep *skip.Report) {
 	}
 	fmt.Println()
 	fmt.Printf("  imbalance    %.3f (CV of per-instance placed work)\n", stats.LoadImbalance)
+	printKVCache(stats.KVCache)
 	printChaos(stats.Chaos)
 	printRouting("prefill", stats.PrefillRouting)
 	printRouting("decode", stats.DecodeRouting)
@@ -519,6 +572,20 @@ func printDisaggReport(sp *skip.Spec, rep *skip.Report) {
 		}
 	}
 	printPlatformBreakdown(sloSet, shares)
+}
+
+// printKVCache renders the prefix-cache ledger a fleet.kv_cache section
+// produces; cacheless reports carry none and print nothing.
+func printKVCache(k *skip.KVCacheStats) {
+	if k == nil {
+		return
+	}
+	fmt.Printf("  prefix cache %d lookups = %d hits + %d restored + %d misses + %d unallocated  (%.0f%% hit, %d tokens reused)\n",
+		k.Lookups, k.Hits, k.Restored, k.Misses, k.Unallocated, k.HitRate*100, k.ReusedTokens)
+	if k.Evictions > 0 || k.Spills > 0 {
+		fmt.Printf("               %d evictions (%d spilled, %d host-dropped)  restore stall %v over %.2f GB\n",
+			k.Evictions, k.Spills, k.HostEvictions, k.RestoreStall, k.RestoredBytes/1e9)
+	}
 }
 
 // printChaos renders the churn ledger of a dynamic fleet (autoscale or

@@ -333,6 +333,16 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 				st.Routed, st.Completed, st.Abandoned, c.Dropped)
 		}
 	}
+	// The prefix-cache ledger must reconcile exactly (per instance and
+	// in the fleet aggregate) — see serve.KVCacheStats.
+	for _, is := range st.Instances {
+		if err := is.Serve.KVCache.Reconcile(); err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", is.Name, err)
+		}
+	}
+	if err := st.KVCache.Reconcile(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
 	return st, nil
 }
 

@@ -40,6 +40,16 @@ const (
 	// Within the preferred group it places least-outstanding, falling
 	// back to the other group when no preferred instance fits.
 	PlatformAware
+	// PrefixAffinity scores cached-block overlap at pick time: each
+	// request goes to the accepting instance whose prefix cache already
+	// holds the most of its leading prompt tokens (ties to the least
+	// outstanding, then the lowest index). Unlike SessionAffinity's
+	// static pin, it follows the cache state itself — evicted prefixes
+	// release the attraction, and a session whose blocks spilled or
+	// dropped re-balances like a fresh one. Requires instances with a
+	// KV cache to do better than least-queue; without one every overlap
+	// is zero and it degrades to exactly least-outstanding.
+	PrefixAffinity
 )
 
 func (p Policy) String() string {
@@ -54,6 +64,8 @@ func (p Policy) String() string {
 		return "session-affinity"
 	case PlatformAware:
 		return "platform-aware"
+	case PrefixAffinity:
+		return "prefix-affinity"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -72,6 +84,8 @@ func ParsePolicy(name string) (Policy, error) {
 		return SessionAffinity, nil
 	case "platform-aware", "platform":
 		return PlatformAware, nil
+	case "prefix-affinity", "prefix":
+		return PrefixAffinity, nil
 	}
 	// The valid-name list derives from Policies() so it can't drift
 	// from the policies that actually exist.
@@ -84,7 +98,7 @@ func ParsePolicy(name string) (Policy, error) {
 
 // Policies lists the routing policies in presentation order.
 func Policies() []Policy {
-	return []Policy{RoundRobin, LeastQueue, LeastKV, SessionAffinity, PlatformAware}
+	return []Policy{RoundRobin, LeastQueue, LeastKV, SessionAffinity, PlatformAware, PrefixAffinity}
 }
 
 // Router is the routing-policy engine behind Simulate's front door,
@@ -183,9 +197,35 @@ func (r *router) pick(req serve.Request, instances []*serve.Instance) int {
 		return leastOutstanding(req, instances)
 	case PlatformAware:
 		return pickPlatformAware(req, instances, r.shortPrompt)
+	case PrefixAffinity:
+		return pickPrefixAffinity(req, instances)
 	default: // LeastQueue
 		return leastOutstanding(req, instances)
 	}
+}
+
+// pickPrefixAffinity is the stateless cached-overlap pick: maximize the
+// instance's device-resident prefix tokens for this request, ties to
+// the least outstanding, then the lowest index. The overlap query
+// (Instance.CachedPrefixTokens) is strictly read-only, so
+// counterfactual scoring could replay this pick without perturbing any
+// cache. Sessionless requests — and cacheless fleets, where every
+// overlap is zero — place exactly like least-queue.
+func pickPrefixAffinity(req serve.Request, instances []*serve.Instance) int {
+	best := -1
+	var bestOverlap int64
+	var bestOut int
+	for i, in := range instances {
+		if !in.Accepting() || !in.Fits(req) {
+			continue
+		}
+		overlap := in.CachedPrefixTokens(req)
+		out := in.Outstanding()
+		if best < 0 || overlap > bestOverlap || (overlap == bestOverlap && out < bestOut) {
+			best, bestOverlap, bestOut = i, overlap, out
+		}
+	}
+	return best
 }
 
 // pickPlatformAware is the stateless regime-split pick, factored out so

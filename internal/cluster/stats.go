@@ -71,6 +71,11 @@ type Stats struct {
 	// replays. Nil (and omitted from JSON) unless Config.CounterfactualK
 	// was set, so default reports stay bit-identical.
 	Routing *RoutingStats `json:",omitempty"`
+
+	// KVCache sums the per-instance prefix-cache ledgers (hit rate
+	// recomputed over the pooled counts). Nil (and omitted from JSON)
+	// for cacheless fleets, so those reports stay bit-identical.
+	KVCache *serve.KVCacheStats `json:",omitempty"`
 }
 
 // ChaosStats is the churn ledger of a dynamic fleet. Counters balance
@@ -114,8 +119,10 @@ func (f *fleetSim) assembleStats() *Stats {
 	}
 	var ttfts, tpots, e2es []sim.Time
 	var tokensOut int64
+	var caches []*serve.KVCacheStats
 	for _, in := range f.members {
 		is := in.Stats()
+		caches = append(caches, is.KVCache)
 		st.Completed += is.Completed
 		st.Abandoned += is.Abandoned
 		st.Preemptions += is.Preemptions
@@ -163,6 +170,7 @@ func (f *fleetSim) assembleStats() *Stats {
 		st.Chaos = f.chaos
 	}
 	st.Routing = f.rec.Stats()
+	st.KVCache = serve.MergeKVCacheStats(caches)
 	return st
 }
 

@@ -98,6 +98,14 @@ type Config struct {
 	// value RoundRobin; the spec front door defaults to least-kv —
 	// decode placement is a KV-capacity decision.
 	DecodePolicy cluster.Policy
+	// LinkAwareDecode, when set, overrides DecodePolicy's pick with a
+	// transfer-aware one: each handoff goes to the fitting decode
+	// instance with the earliest projected landing — the (src,dst)
+	// link's FIFO backlog plus the exposed wire time for the bytes
+	// actually shipped (prefix-cached blocks excluded) — ties to the
+	// lowest KV pressure, then the lowest index. Off keeps
+	// DecodePolicy's placement bit for bit.
+	LinkAwareDecode bool
 	// ShortPrompt is the platform-aware policies' regime boundary in
 	// prompt tokens (default 512).
 	ShortPrompt int64
@@ -365,14 +373,15 @@ func (d *dsim) ship(now sim.Time, src, dst int, h serve.Handoff, bytes float64) 
 	d.cal.Schedule(start, func(at sim.Time) {
 		d.emit(at, serve.EventKVTransferStart, h.Req, srcName, link)
 	})
-	d.cal.Schedule(land, func(at sim.Time) { d.land(at, src, dst, h, bytes, link) })
+	d.cal.Schedule(land, func(at sim.Time) { d.land(at, src, dst, h, link) })
 }
 
 // land completes one transfer: the request resumes on its destination,
 // or — when the destination died while the cache was on the wire — the
 // still-staged cache re-ships from the source to a freshly picked
-// decode instance (a reported drop when none remains).
-func (d *dsim) land(at sim.Time, src, dst int, h serve.Handoff, bytes float64, link string) {
+// decode instance (a reported drop when none remains; the bytes are
+// re-sized against the new destination's cache).
+func (d *dsim) land(at sim.Time, src, dst int, h serve.Handoff, link string) {
 	if d.simErr != nil {
 		return
 	}
@@ -381,7 +390,7 @@ func (d *dsim) land(at sim.Time, src, dst int, h serve.Handoff, bytes float64, l
 	if dstIn.State() == serve.StateStopped {
 		hr := h.Req
 		hr.PromptLen, hr.OutputLen = h.PromptLen, h.OutputLen
-		nd := d.decodeRouter.Pick(hr, d.decodePool)
+		nd := d.pickDecode(at, src, h, hr)
 		if nd < 0 {
 			d.transferDrops++
 			d.emit(at, serve.EventUnroutable, h.Req, d.members[src].in.Name(), "")
@@ -390,7 +399,7 @@ func (d *dsim) land(at sim.Time, src, dst int, h serve.Handoff, bytes float64, l
 		if d.decodeRec != nil {
 			d.decodeRec.Record(at, hr, d.decodePool, nd, true, d.linkWait(at, src, d.decodeIdx[nd]))
 		}
-		d.ship(at, src, d.decodeIdx[nd], h, bytes)
+		d.ship(at, src, d.decodeIdx[nd], h, d.shipBytes(d.decodeIdx[nd], h))
 		return
 	}
 	d.emit(at, serve.EventKVTransferDone, h.Req, dstIn.Name(), link)
@@ -410,7 +419,7 @@ func (d *dsim) handoff(now sim.Time, src int, h serve.Handoff) {
 	}
 	hr := h.Req
 	hr.PromptLen, hr.OutputLen = h.PromptLen, h.OutputLen
-	p := d.decodeRouter.Pick(hr, d.decodePool)
+	p := d.pickDecode(now, src, h, hr)
 	if p < 0 {
 		// No decode instance can ever hold this request: the prefill
 		// work is lost and the drop is reported in the ledger.
@@ -421,7 +430,56 @@ func (d *dsim) handoff(now sim.Time, src int, h serve.Handoff) {
 	if d.decodeRec != nil {
 		d.decodeRec.Record(now, hr, d.decodePool, p, false, d.linkWait(now, src, d.decodeIdx[p]))
 	}
-	d.ship(now, src, d.decodeIdx[p], h, float64(h.KVLen)*d.bytesPerTok)
+	d.ship(now, src, d.decodeIdx[p], h, d.shipBytes(d.decodeIdx[p], h))
+}
+
+// shipBytes sizes one handoff's transfer to a destination member:
+// leading prompt blocks the destination's prefix cache already holds
+// device-resident never cross the wire — only the uncached tail ships.
+// On a cacheless fleet the overlap is always zero and every handoff
+// ships its full KV footprint, exactly the pre-cache behavior.
+func (d *dsim) shipBytes(dst int, h serve.Handoff) float64 {
+	hr := h.Req
+	hr.PromptLen, hr.OutputLen = h.PromptLen, h.OutputLen
+	kv := h.KVLen
+	if cached := d.members[dst].in.CachedPrefixTokens(hr); cached > 0 {
+		kv -= cached
+		if kv < 0 {
+			kv = 0
+		}
+	}
+	return float64(kv) * d.bytesPerTok
+}
+
+// pickDecode places one handoff on the decode pool: DecodePolicy's
+// pick by default, or — with Config.LinkAwareDecode — the fitting
+// instance with the earliest projected landing (link FIFO backlog plus
+// the exposed wire time for the bytes this destination actually
+// needs), ties broken by KV pressure then lowest index. Returns the
+// decode-pool index, or -1 when no instance can ever hold the request.
+func (d *dsim) pickDecode(now sim.Time, src int, h serve.Handoff, hr serve.Request) int {
+	if !d.cfg.LinkAwareDecode {
+		return d.decodeRouter.Pick(hr, d.decodePool)
+	}
+	best := -1
+	var bestLand sim.Time
+	var bestKV float64
+	for i, in := range d.decodePool {
+		if !in.Accepting() || !in.Fits(hr) {
+			continue
+		}
+		dst := d.decodeIdx[i]
+		start := now
+		if busy := d.links[[2]int{src, dst}]; busy > start {
+			start = busy
+		}
+		land := start + d.cfg.Transfer.Exposed(d.wireTime(src, dst, d.shipBytes(dst, h)))
+		kv := in.KVPressure()
+		if best < 0 || land < bestLand || (land == bestLand && kv < bestKV) {
+			best, bestLand, bestKV = i, land, kv
+		}
+	}
+	return best
 }
 
 // linkWait reports the (src,dst) link's FIFO backlog at now — how long
@@ -550,6 +608,18 @@ func Simulate(cfg Config, requests []serve.Request) (*Stats, error) {
 	}
 	if err := st.reconcile(); err != nil {
 		return nil, err
+	}
+	// Cache invariants: every per-instance prefix-cache ledger — and
+	// their fleet-level sum — must balance exactly (see
+	// serve.KVCacheStats.Reconcile). Nil-safe: cacheless fleets skip.
+	for i := range st.Instances {
+		is := &st.Instances[i]
+		if err := is.Serve.KVCache.Reconcile(); err != nil {
+			return nil, fmt.Errorf("disagg: %s: %w", is.Name, err)
+		}
+	}
+	if err := st.KVCache.Reconcile(); err != nil {
+		return nil, fmt.Errorf("disagg: %w", err)
 	}
 	if c := st.Chaos; c != nil {
 		// Churn invariants: every crash eviction is requeued or dropped,

@@ -97,6 +97,12 @@ type Stats struct {
 	PrefillRouting *cluster.RoutingStats `json:",omitempty"`
 	DecodeRouting  *cluster.RoutingStats `json:",omitempty"`
 
+	// KVCache sums the per-instance prefix-cache ledgers across both
+	// pools (hit rate recomputed over the pooled counts). Nil (and
+	// omitted from JSON) for cacheless fleets, so those reports stay
+	// bit-identical.
+	KVCache *serve.KVCacheStats `json:",omitempty"`
+
 	Instances []InstanceStats
 }
 
@@ -116,8 +122,10 @@ func (d *dsim) assembleStats() *Stats {
 	}
 	var ttfts, tpots, e2es []sim.Time
 	var tokensOut int64
+	var caches []*serve.KVCacheStats
 	for _, m := range members {
 		is := m.in.Stats()
+		caches = append(caches, is.KVCache)
 		st.HandedOff += is.HandedOff
 		st.Resumed += is.Resumed
 		st.Completed += is.Completed
@@ -170,6 +178,7 @@ func (d *dsim) assembleStats() *Stats {
 	}
 	st.PrefillRouting = d.prefillRec.Stats()
 	st.DecodeRouting = d.decodeRec.Stats()
+	st.KVCache = serve.MergeKVCacheStats(caches)
 	return st
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/skipsim/skip/internal/engine"
+	"github.com/skipsim/skip/internal/kvcache"
 	"github.com/skipsim/skip/internal/models"
 	"github.com/skipsim/skip/internal/sim"
 )
@@ -62,6 +63,13 @@ type contRequest struct {
 	// instance's prefill: TTFT is already anchored and the request never
 	// abandons (its user is already streaming tokens).
 	resumed bool
+	// pinned counts the prefix-cache blocks this request holds pins on
+	// (the Grant.Pinned of its admission Acquire); released when the
+	// request completes, hands off, preempts, or is killed.
+	pinned int
+	// restoreStall is the pending host-tier restore penalty, charged
+	// once to the request's next iteration.
+	restoreStall sim.Time
 }
 
 func (r *contRequest) kvLen() int64 { return r.promptLen + r.generated }
@@ -79,6 +87,12 @@ type contSim struct {
 	busy        bool
 	kickPending bool
 	err         error
+	// cache is the optional block-level prefix cache (nil when
+	// cfg.KVCache is nil); restoredBytes / restoreStall accumulate its
+	// host-tier restore economics.
+	cache         *kvcache.Cache
+	restoredBytes float64
+	restoreStall  sim.Time
 	// state is the dynamic-fleet lifecycle state (see lifecycle.go);
 	// static simulations stay Active forever.
 	state InstanceState
@@ -139,6 +153,17 @@ func newContSim(cfg Config, cal *sim.Calendar) (*contSim, error) {
 	if s.capacity <= 0 {
 		return nil, fmt.Errorf("serve: %s does not fit on %s: KV budget %.2f GB after fp16 weights",
 			cfg.Model.Name, cfg.Platform.Name, s.capacity/1e9)
+	}
+	if cfg.KVCache != nil {
+		s.cache, err = kvcache.New(kvcache.Config{
+			BlockTokens:     cfg.KVCache.BlockTokens,
+			DeviceBlocks:    cfg.KVCache.DeviceBlocks,
+			HostSpillBlocks: cfg.KVCache.HostSpillBlocks,
+			Policy:          cfg.KVCache.Policy,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -263,13 +288,26 @@ func (s *contSim) abandon(now sim.Time, cr *contRequest) {
 // admit moves wait-queue heads into the running batch while the KV
 // budget and batch cap allow (FIFO: a head that does not fit blocks the
 // queue, the queue-or-preempt policy's "queue" side).
+//
+// With a prefix cache, a session-bearing head first Peeks its cached
+// prefix — a read-only, conservative bound — and the fit check uses the
+// reduced footprint. Only once the head actually admits does Acquire
+// pin blocks; Acquire can only grant more than the Peek (host-tier
+// restores, fresh allocations), so the fit decision stays valid and no
+// rollback path exists.
 func (s *contSim) admit(now sim.Time) {
 	for len(s.waiting) > 0 && len(s.running) < s.cfg.MaxBatch {
 		head := s.waiting[0]
 		// A resumed request's transferred cache (prompt + tokens already
 		// generated elsewhere) is reserved whole; fresh requests have
-		// generated == 0 and reserve the prompt alone.
-		need := float64(head.promptLen+head.generated) * s.bytesPerTok
+		// generated == 0 and reserve the prompt alone. Cached prefix
+		// blocks live in the cache's own block pool and leave the
+		// byte-denominated reservation.
+		credit := int64(0)
+		if s.cache != nil {
+			credit = s.cache.Peek(head.req.SessionID, head.promptLen)
+		}
+		need := float64(head.promptLen-credit+head.generated) * s.bytesPerTok
 		if s.kvUsed+need > s.capacity {
 			return
 		}
@@ -278,10 +316,71 @@ func (s *contSim) admit(now sim.Time) {
 			s.cal.Cancel(head.abandonEv)
 			head.abandonEv = nil
 		}
+		if s.cache != nil && head.req.SessionID != 0 {
+			g := s.cache.Acquire(head.req.SessionID, head.promptLen, head.resumed)
+			head.pinned = g.Pinned
+			need = float64(head.promptLen-int64(g.Pinned)*s.cache.BlockTokens()+head.generated) * s.bytesPerTok
+			if !head.resumed {
+				// Reuse credit: the contiguous cached prefix counts as
+				// already-prefilled, shortening TTFT. Resumed requests
+				// arrive with their prefill done.
+				if g.CreditTokens > head.promptDone {
+					head.promptDone = g.CreditTokens
+				}
+				if g.Restored > 0 {
+					// Host-tier restore: price the copy back to device
+					// through the platform interconnect (free on
+					// unified-memory platforms) and charge it to the
+					// request's next iteration.
+					bytes := float64(g.Restored) * float64(s.cache.BlockTokens()) * s.bytesPerTok
+					stall := s.cfg.Platform.TransferTime(bytes)
+					head.restoreStall += stall
+					s.restoredBytes += bytes
+					s.restoreStall += stall
+				}
+			}
+			s.emitCache(now, head, g)
+		}
 		head.kvBytes = need
 		s.kvUsed += need
 		s.running = append(s.running, head)
 		s.emit(now, EventAdmitted, head)
+	}
+}
+
+// releaseBlocks drops the request's prefix-cache pins (completion,
+// handoff, preemption, kill). The blocks stay resident — that residency
+// is the session's next-turn hit — but become evictable.
+func (s *contSim) releaseBlocks(r *contRequest) {
+	if s.cache != nil && r.pinned > 0 {
+		s.cache.Release(r.req.SessionID, r.pinned)
+		r.pinned = 0
+	}
+}
+
+// emitCache reports one admission's cache outcome to the observer:
+// a block-hit event when cached blocks served the request, a
+// block-evict event when the acquire forced evictions, and a
+// block-restore event when host-tier blocks were promoted back.
+func (s *contSim) emitCache(now sim.Time, cr *contRequest, g kvcache.Grant) {
+	if s.cfg.Observer == nil {
+		return
+	}
+	ev := Event{Time: now, RequestID: cr.req.ID, SessionID: cr.req.SessionID}
+	if g.Hits+g.Restored > 0 {
+		ev.Type = EventBlockHit
+		ev.Detail = fmt.Sprintf("hits=%d restored=%d misses=%d credit=%d", g.Hits, g.Restored, g.Misses, g.CreditTokens)
+		s.cfg.Observer(ev)
+	}
+	if g.Evicted > 0 {
+		ev.Type = EventBlockEvict
+		ev.Detail = fmt.Sprintf("evicted=%d spilled=%d host_dropped=%d", g.Evicted, g.Spilled, g.HostEvicted)
+		s.cfg.Observer(ev)
+	}
+	if g.Restored > 0 {
+		ev.Type = EventBlockRestore
+		ev.Detail = fmt.Sprintf("blocks=%d bytes=%.0f", g.Restored, float64(g.Restored)*float64(s.cache.BlockTokens())*s.bytesPerTok)
+		s.cfg.Observer(ev)
 	}
 }
 
@@ -323,6 +422,11 @@ func (s *contSim) preemptForGrowth(now sim.Time) {
 		victim.kvBytes = 0
 		victim.promptDone = 0
 		victim.generated = 0
+		// Unpin the victim's cache blocks and drop any uncharged restore
+		// stall; re-admission re-acquires (usually hitting the
+		// still-resident blocks, the cache's recompute discount).
+		s.releaseBlocks(victim)
+		victim.restoreStall = 0
 		s.waiting = append([]*contRequest{victim}, s.waiting...)
 		s.preemptions++
 		s.emit(now, EventPreempted, victim)
@@ -387,6 +491,15 @@ func (s *contSim) kick(now sim.Time) {
 		// int64 nanoseconds well under 2^53, so the float round-trip is
 		// exact at factor 1 and deterministic at any factor.
 		dur = sim.Time(float64(dur) * s.slowFactor)
+	}
+	// Pending host-tier restore penalties stall the iteration their
+	// request first executes in. Interconnect time, not compute, so the
+	// slow-node factor does not scale it.
+	for _, r := range s.running {
+		if r.restoreStall > 0 {
+			dur += r.restoreStall
+			r.restoreStall = 0
+		}
 	}
 
 	s.busy = true
@@ -456,6 +569,7 @@ func (s *contSim) emitToken(r *contRequest, end sim.Time) {
 		}
 		s.kvUsed -= r.kvBytes
 		r.kvBytes = 0
+		s.releaseBlocks(r)
 		s.removeRunning(r)
 		if end > s.lastCompletion {
 			s.lastCompletion = end
@@ -470,6 +584,7 @@ func (s *contSim) emitToken(r *contRequest, end sim.Time) {
 		s.handedOff++
 		s.kvUsed -= r.kvBytes
 		r.kvBytes = 0
+		s.releaseBlocks(r)
 		s.removeRunning(r)
 		if end > s.lastCompletion {
 			s.lastCompletion = end
@@ -528,6 +643,36 @@ func (s *contSim) sample(now sim.Time) {
 	}
 }
 
+// cacheStats assembles the prefix-cache ledger; nil when no cache is
+// configured, keeping cache-off reports bit-identical.
+func (s *contSim) cacheStats() *KVCacheStats {
+	if s.cache == nil {
+		return nil
+	}
+	cs := s.cache.Stats()
+	st := &KVCacheStats{
+		BlockTokens:     s.cache.BlockTokens(),
+		DeviceBlocks:    s.cfg.KVCache.DeviceBlocks,
+		HostSpillBlocks: s.cfg.KVCache.HostSpillBlocks,
+		Policy:          s.cfg.KVCache.Policy.String(),
+		Lookups:         cs.Lookups,
+		Hits:            cs.Hits,
+		Restored:        cs.Restored,
+		Misses:          cs.Misses,
+		Unallocated:     cs.Unallocated,
+		Evictions:       cs.Evictions,
+		Spills:          cs.Spills,
+		HostEvictions:   cs.HostEvictions,
+		ReusedTokens:    cs.ReusedTokens,
+		RestoredBytes:   s.restoredBytes,
+		RestoreStall:    s.restoreStall,
+	}
+	if cs.Lookups > 0 {
+		st.HitRate = float64(cs.Hits+cs.Restored) / float64(cs.Lookups)
+	}
+	return st
+}
+
 // stats assembles the final Stats from the accumulators.
 func (s *contSim) stats() *Stats {
 	st := &Stats{
@@ -546,6 +691,7 @@ func (s *contSim) stats() *Stats {
 		KVOccupancy:     s.kvSeries,
 		QueueDepth:      s.queueSeries,
 		MaxQueueDepth:   s.maxQueue,
+		KVCache:         s.cacheStats(),
 	}
 	sort.Slice(s.ttfts, func(i, j int) bool { return s.ttfts[i] < s.ttfts[j] })
 	sort.Slice(s.tpots, func(i, j int) bool { return s.tpots[i] < s.tpots[j] })

@@ -69,6 +69,17 @@ const (
 	// Instance names the new placement). Evictions that fit nowhere
 	// emit EventUnroutable instead and are reported dropped.
 	EventRequeued
+	// EventBlockHit: an admission found cached prefix blocks (prefix
+	// cache only). Detail carries the lookup's aggregate counts
+	// ("hits=H restored=R misses=M credit=C").
+	EventBlockHit
+	// EventBlockEvict: an admission's allocations evicted cold blocks
+	// (prefix cache only). Detail: "evicted=E spilled=S host_dropped=D".
+	EventBlockEvict
+	// EventBlockRestore: host-tier blocks were promoted back to device
+	// for an admission, stalling the request by the interconnect-priced
+	// copy (prefix cache only). Detail: "blocks=N bytes=B".
+	EventBlockRestore
 )
 
 func (t EventType) String() string {
@@ -107,6 +118,12 @@ func (t EventType) String() string {
 		return "fault-injected"
 	case EventRequeued:
 		return "requeued"
+	case EventBlockHit:
+		return "block-hit"
+	case EventBlockEvict:
+		return "block-evict"
+	case EventBlockRestore:
+		return "block-restore"
 	default:
 		return fmt.Sprintf("event(%d)", int(t))
 	}

@@ -109,6 +109,24 @@ func (in *Instance) KVPressure() float64 {
 // KVCapacityBytes reports the instance's KV budget.
 func (in *Instance) KVCapacityBytes() float64 { return in.s.capacity }
 
+// CachedPrefixTokens reports how many of the request's leading prompt
+// tokens are device-resident in this instance's prefix cache — the
+// overlap a prefix-affinity router maximizes at pick time, and the
+// tokens a disaggregated handoff to this instance need not ship. It is
+// strictly read-only (no refcounts, no LRU order, no ledger), so
+// routers and counterfactual scorers may call it freely; 0 when the
+// instance has no cache or the request no session.
+func (in *Instance) CachedPrefixTokens(req Request) int64 {
+	if in.s.cache == nil || req.SessionID == 0 {
+		return 0
+	}
+	promptLen := req.PromptLen
+	if promptLen <= 0 {
+		promptLen = in.s.cfg.Seq
+	}
+	return in.s.cache.Peek(req.SessionID, promptLen)
+}
+
 // Err reports a latency-model failure inside the event loop, after
 // which the instance's state is frozen and its stats are meaningless.
 func (in *Instance) Err() error { return in.s.err }

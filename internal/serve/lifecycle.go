@@ -117,6 +117,10 @@ func (in *Instance) Kill(now sim.Time) []Evicted {
 			s.cal.Cancel(cr.abandonEv)
 			cr.abandonEv = nil
 		}
+		// Unpin any prefix-cache blocks the request held: a kill must
+		// leave the cache ledger balanced even though the instance's
+		// cache dies with it.
+		s.releaseBlocks(cr)
 		s.killed++
 		out = append(out, Evicted{
 			Req:        cr.req,

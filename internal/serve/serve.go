@@ -25,6 +25,7 @@ import (
 
 	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/kvcache"
 	"github.com/skipsim/skip/internal/models"
 	"github.com/skipsim/skip/internal/sim"
 )
@@ -143,11 +144,134 @@ type Config struct {
 	// (default 64 tokens). Coarser buckets run faster, finer buckets are
 	// more precise.
 	LatencyBucket int64
+	// KVCache, when set, gives the continuous policies a block-level
+	// prefix cache (see internal/kvcache): session-bearing requests pin
+	// their prompt-prefix blocks at admission, cached blocks grant
+	// prefill reuse credit (shortening TTFT and the admission
+	// footprint), and host-tier restores are priced through the
+	// platform's interconnect model. The config is shared across a
+	// fleet's instances but each instance owns a private cache. Nil —
+	// the default — leaves serving exactly as before.
+	KVCache *KVCacheConfig
 	// Observer, when set, receives lifecycle events (arrival, admission,
 	// preemption, first token, completion, abandonment) from the
 	// continuous policies as they happen. The legacy prefill-only
 	// policies do not emit events.
 	Observer Observer
+}
+
+// KVCacheConfig sizes the optional block-level prefix cache. Pinned
+// cache blocks live in their own block pool — they are not charged
+// against the instance's byte-denominated KV budget, which carries only
+// each request's uncached remainder.
+type KVCacheConfig struct {
+	// BlockTokens is the tokens per cache block (default 32).
+	BlockTokens int64
+	// DeviceBlocks is the device-tier capacity in blocks. Required,
+	// positive.
+	DeviceBlocks int
+	// HostSpillBlocks sizes the host-memory spill tier (0 disables it);
+	// restores from it cost Platform.TransferTime over the restored
+	// bytes — near-free on unified-memory platforms, interconnect-priced
+	// on discrete ones.
+	HostSpillBlocks int
+	// Policy is the eviction order (default kvcache.LRU).
+	Policy kvcache.Policy
+}
+
+// KVCacheStats is the per-instance (or fleet-aggregated) prefix-cache
+// ledger. Counts reconcile exactly:
+//
+//	Lookups == Hits + Restored + Misses + Unallocated
+//	Evictions ≤ Misses + Restored (every eviction had a placement)
+//	Spills ≤ Evictions, HostEvictions ≤ Spills
+type KVCacheStats struct {
+	// Config echo, so a report names the cache it measured.
+	BlockTokens     int64
+	DeviceBlocks    int
+	HostSpillBlocks int
+	Policy          string
+
+	// Block ledger (counts in blocks; see kvcache.Stats).
+	Lookups       int64
+	Hits          int64
+	Restored      int64
+	Misses        int64
+	Unallocated   int64
+	Evictions     int64
+	Spills        int64
+	HostEvictions int64
+
+	// ReusedTokens is the total prefill work skipped via cached
+	// prefixes, in tokens.
+	ReusedTokens int64
+	// RestoredBytes / RestoreStall price the host-tier restores: bytes
+	// copied back to device and the total interconnect stall charged.
+	RestoredBytes float64
+	RestoreStall  sim.Time
+	// HitRate is (Hits+Restored)/Lookups (0 when no lookups).
+	HitRate float64
+}
+
+// Reconcile checks the cache ledger's conservation laws; nil receivers
+// (cache off) pass trivially. The fleet layers run it before returning
+// stats, so a broken ledger fails the simulation instead of shipping
+// wrong numbers.
+func (k *KVCacheStats) Reconcile() error {
+	if k == nil {
+		return nil
+	}
+	if k.Lookups != k.Hits+k.Restored+k.Misses+k.Unallocated {
+		return fmt.Errorf("kv cache ledger broken: lookups %d != hits %d + restored %d + misses %d + unallocated %d",
+			k.Lookups, k.Hits, k.Restored, k.Misses, k.Unallocated)
+	}
+	if k.Evictions > k.Misses+k.Restored {
+		return fmt.Errorf("kv cache ledger broken: evictions %d exceed device placements (misses %d + restored %d)",
+			k.Evictions, k.Misses, k.Restored)
+	}
+	if k.Spills > k.Evictions {
+		return fmt.Errorf("kv cache ledger broken: spills %d exceed evictions %d", k.Spills, k.Evictions)
+	}
+	if k.HostEvictions > k.Spills {
+		return fmt.Errorf("kv cache ledger broken: host evictions %d exceed spills %d", k.HostEvictions, k.Spills)
+	}
+	return nil
+}
+
+// MergeKVCacheStats sums per-instance cache ledgers into one aggregate,
+// echoing the first non-nil ledger's configuration and recomputing the
+// hit rate. Nil when every part is nil, so cache-off fleets keep the
+// section absent.
+func MergeKVCacheStats(parts []*KVCacheStats) *KVCacheStats {
+	var out *KVCacheStats
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			cp := *p
+			out = &cp
+			continue
+		}
+		out.Lookups += p.Lookups
+		out.Hits += p.Hits
+		out.Restored += p.Restored
+		out.Misses += p.Misses
+		out.Unallocated += p.Unallocated
+		out.Evictions += p.Evictions
+		out.Spills += p.Spills
+		out.HostEvictions += p.HostEvictions
+		out.ReusedTokens += p.ReusedTokens
+		out.RestoredBytes += p.RestoredBytes
+		out.RestoreStall += p.RestoreStall
+	}
+	if out != nil {
+		out.HitRate = 0
+		if out.Lookups > 0 {
+			out.HitRate = float64(out.Hits+out.Restored) / float64(out.Lookups)
+		}
+	}
+	return out
 }
 
 func (c *Config) validate() error {
@@ -250,6 +374,11 @@ type Stats struct {
 	// event.
 	QueueDepth    []SamplePoint
 	MaxQueueDepth int
+
+	// KVCache is the prefix-cache ledger, present only when the
+	// instance was configured with one — reports without a cache stay
+	// bit-identical to the pre-cache output.
+	KVCache *KVCacheStats `json:",omitempty"`
 }
 
 // latencyModel caches per-batch-size prefill latency from the engine:

@@ -7,6 +7,7 @@ import (
 	"github.com/skipsim/skip/internal/disagg"
 	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/kvcache"
 	"github.com/skipsim/skip/internal/models"
 	"github.com/skipsim/skip/internal/serve"
 	"github.com/skipsim/skip/internal/sim"
@@ -313,6 +314,12 @@ func (s *Spec) simulateCluster(o *options) (*Report, error) {
 		return nil, err
 	}
 	f := s.Fleet
+	if f.KVCache != nil {
+		base.KVCache, err = f.KVCache.config()
+		if err != nil {
+			return nil, err
+		}
+	}
 	groups := make([]cluster.FleetGroup, len(f.Groups))
 	for i, g := range f.Groups {
 		p, err := hw.ByName(g.Platform)
@@ -368,6 +375,12 @@ func (s *Spec) simulateDisagg(o *options) (*Report, error) {
 	}
 	f := s.Fleet
 	d := f.Disaggregation
+	if f.KVCache != nil {
+		base.KVCache, err = f.KVCache.config()
+		if err != nil {
+			return nil, err
+		}
+	}
 	groups := make([]disagg.Group, len(f.Groups))
 	for i, g := range f.Groups {
 		p, err := hw.ByName(g.Platform)
@@ -399,6 +412,7 @@ func (s *Spec) simulateDisagg(o *options) (*Report, error) {
 			BandwidthGBps:     d.BandwidthGBps,
 			OverlapFraction:   d.OverlapFraction,
 		},
+		LinkAwareDecode: d.LinkAwareDecode,
 		TTFTSLO:         base.TTFTSLO,
 		AdmitRatePerSec: f.AdmitRatePerSec,
 		AdmitBurst:      f.AdmitBurst,
@@ -451,6 +465,20 @@ func (a *AutoscaleSpec) config(base serve.Config) (*cluster.AutoscaleConfig, err
 		Cooldown:    sim.Time(a.CooldownMs * 1e6),
 		SpinUpDelay: sim.Time(a.SpinUpDelayMs * 1e6),
 		SLOWindow:   a.SLOWindow,
+	}, nil
+}
+
+// config builds the serve.KVCacheConfig a KVCacheSpec describes.
+func (k *KVCacheSpec) config() (*serve.KVCacheConfig, error) {
+	policy, err := kvcache.ParsePolicy(k.policyName())
+	if err != nil {
+		return nil, err
+	}
+	return &serve.KVCacheConfig{
+		BlockTokens:     k.BlockTokens,
+		DeviceBlocks:    k.DeviceBlocks,
+		HostSpillBlocks: k.HostSpillBlocks,
+		Policy:          policy,
 	}, nil
 }
 

@@ -250,7 +250,9 @@ type FleetSpec struct {
 	// no duplicate platforms.
 	Groups []FleetGroupSpec `json:"groups"`
 	// Router is the routing policy: "least-queue" (default),
-	// "round-robin", "least-kv", "session-affinity", "platform-aware".
+	// "round-robin", "least-kv", "session-affinity", "platform-aware",
+	// "prefix-affinity" (scores cached-block overlap; needs kv_cache to
+	// beat least-queue).
 	Router string `json:"router,omitempty"`
 	// ShortPrompt is the platform-aware regime boundary in prompt
 	// tokens. Default 512.
@@ -277,6 +279,30 @@ type FleetSpec struct {
 	// disaggregated fleets) degraded links on schedule or at
 	// seeded-random instants.
 	Faults *FaultsSpec `json:"faults,omitempty"`
+	// KVCache gives every instance a block-level prefix cache
+	// (internal/kvcache): repeated session prefixes earn prefill reuse
+	// credit, and the report carries the cache ledger. Without it no
+	// instance caches and reports are bit-identical to the pre-cache
+	// output.
+	KVCache *KVCacheSpec `json:"kv_cache,omitempty"`
+}
+
+// KVCacheSpec configures the per-instance block-level prefix cache
+// (serve.KVCacheConfig in JSON form). Every instance in the fleet gets
+// its own private cache with these dimensions.
+type KVCacheSpec struct {
+	// BlockTokens is the tokens-per-block granularity. Default 32.
+	BlockTokens int64 `json:"block_tokens,omitempty"`
+	// DeviceBlocks is the device-tier capacity in blocks. Required,
+	// positive.
+	DeviceBlocks int `json:"device_blocks"`
+	// HostSpillBlocks is the host-memory spill tier's capacity in
+	// blocks (0 — the default — drops evicted blocks instead of
+	// spilling; restores from the spill tier are priced through the
+	// platform interconnect, near-free on coupled parts).
+	HostSpillBlocks int `json:"host_spill_blocks,omitempty"`
+	// Policy is the eviction policy: "lru" (default) or "fifo".
+	Policy string `json:"policy,omitempty"`
 }
 
 // AutoscaleSpec configures the fleet autoscale controller
@@ -373,6 +399,13 @@ type DisaggregationSpec struct {
 	// advances). Must be in [0,1); 0 — the default — is strict
 	// store-and-forward.
 	OverlapFraction float64 `json:"overlap_fraction,omitempty"`
+	// LinkAwareDecode replaces DecodeRouter's pick with a
+	// transfer-aware one: each handoff goes to the fitting decode
+	// instance with the earliest projected landing (link FIFO backlog
+	// plus exposed wire time for the bytes actually shipped), ties to
+	// the lowest KV pressure. Off (the default) keeps DecodeRouter's
+	// placement bit for bit.
+	LinkAwareDecode bool `json:"link_aware_decode,omitempty"`
 }
 
 // Kind is the simulation layer a Spec dispatches to.

@@ -9,6 +9,7 @@ import (
 	"github.com/skipsim/skip/internal/disagg"
 	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/kvcache"
 	"github.com/skipsim/skip/internal/models"
 	"github.com/skipsim/skip/internal/serve"
 )
@@ -484,7 +485,29 @@ func (f *FleetSpec) validate() error {
 			return err
 		}
 	}
+	if k := f.KVCache; k != nil {
+		if k.BlockTokens < 0 {
+			return errAt("fleet.kv_cache.block_tokens", "must be non-negative, got %d", k.BlockTokens)
+		}
+		if k.DeviceBlocks <= 0 {
+			return errAt("fleet.kv_cache.device_blocks", "must be positive, got %d", k.DeviceBlocks)
+		}
+		if k.HostSpillBlocks < 0 {
+			return errAt("fleet.kv_cache.host_spill_blocks", "must be non-negative, got %d", k.HostSpillBlocks)
+		}
+		if _, err := kvcache.ParsePolicy(k.policyName()); err != nil {
+			return errAt("fleet.kv_cache.policy", "%v", err)
+		}
+	}
 	return nil
+}
+
+// policyName is the cache eviction policy with its default applied.
+func (k *KVCacheSpec) policyName() string {
+	if k.Policy == "" {
+		return "lru"
+	}
+	return k.Policy
 }
 
 // signalName is the autoscale signal with its default applied.

@@ -40,6 +40,7 @@ import (
 	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/fusion"
 	"github.com/skipsim/skip/internal/hw"
+	"github.com/skipsim/skip/internal/kvcache"
 	"github.com/skipsim/skip/internal/models"
 	"github.com/skipsim/skip/internal/serve"
 	"github.com/skipsim/skip/internal/sim"
@@ -390,7 +391,32 @@ const (
 	RouterLeastKV         = cluster.LeastKV
 	RouterSessionAffinity = cluster.SessionAffinity
 	RouterPlatformAware   = cluster.PlatformAware
+	RouterPrefixAffinity  = cluster.PrefixAffinity
 )
+
+// KV-cache aliases: the block-level prefix cache instances attach when
+// a fleet.kv_cache section (or ServeConfig.KVCache) is present. See the
+// kvcache package documentation for the block, hashing, and eviction
+// model.
+type (
+	// KVCacheConfig dimensions an instance's prefix cache (block
+	// granularity, device and host-spill tiers, eviction policy).
+	KVCacheConfig = serve.KVCacheConfig
+	// KVCacheStats is the reconciled cache ledger a report carries.
+	KVCacheStats = serve.KVCacheStats
+	// KVCachePolicy selects the block eviction policy.
+	KVCachePolicy = kvcache.Policy
+)
+
+// KV-cache eviction policies.
+const (
+	KVCacheLRU  = kvcache.LRU
+	KVCacheFIFO = kvcache.FIFO
+)
+
+// ParseKVCachePolicy maps a policy name ("lru", "fifo") to a
+// KVCachePolicy.
+func ParseKVCachePolicy(name string) (KVCachePolicy, error) { return kvcache.ParsePolicy(name) }
 
 // SimulateCluster runs a fleet simulation over a request stream.
 //
@@ -493,6 +519,9 @@ type (
 	// DisaggregationSpec is the fleet.disaggregation section: pool
 	// routers and the KV-transfer knobs.
 	DisaggregationSpec = spec.DisaggregationSpec
+	// KVCacheSpec is the fleet.kv_cache section: per-instance prefix
+	// caching with reuse credit and tiered host-memory spill.
+	KVCacheSpec = spec.KVCacheSpec
 	// AutoscaleSpec is the fleet.autoscale section: the feedback
 	// controller that grows and shrinks a running fleet.
 	AutoscaleSpec = spec.AutoscaleSpec
@@ -550,6 +579,9 @@ const (
 	EventInstanceGone    = serve.EventInstanceGone
 	EventFaultInjected   = serve.EventFaultInjected
 	EventRequeued        = serve.EventRequeued
+	EventBlockHit        = serve.EventBlockHit
+	EventBlockEvict      = serve.EventBlockEvict
+	EventBlockRestore    = serve.EventBlockRestore
 )
 
 // Simulate validates the spec and runs it on the matching layer —
