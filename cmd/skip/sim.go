@@ -203,7 +203,15 @@ func writeMetricsCSV(path string, rep *skip.Report) error {
 	if err := w.Write(header); err != nil {
 		return err
 	}
+	// All series should be one value per sweep point, but a metric over
+	// a section some points lack can come up short — write the common
+	// prefix rather than panicking past a short series.
 	rows := len(rep.Metrics[0].Values)
+	for _, m := range rep.Metrics[1:] {
+		if len(m.Values) < rows {
+			rows = len(m.Values)
+		}
+	}
 	for i := 0; i < rows; i++ {
 		var row []string
 		if rep.SweepField != "" && i < len(rep.Sweep) {

@@ -438,6 +438,12 @@ func (d *dsim) handoff(now sim.Time, src int, h serve.Handoff) {
 // device-resident never cross the wire — only the uncached tail ships.
 // On a cacheless fleet the overlap is always zero and every handoff
 // ships its full KV footprint, exactly the pre-cache behavior.
+//
+// The overlap is frozen at ship time: blocks counted as cached here may
+// be evicted before the transfer lands, in which case Acquire
+// re-materializes them as misses without the wire ever being charged —
+// an optimistic approximation that slightly understates transfer bytes
+// under destination cache churn.
 func (d *dsim) shipBytes(dst int, h serve.Handoff) float64 {
 	hr := h.Req
 	hr.PromptLen, hr.OutputLen = h.PromptLen, h.OutputLen

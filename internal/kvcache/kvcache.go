@@ -346,13 +346,18 @@ func (c *Cache) Acquire(session, promptLen int64, transferred bool) Grant {
 				g.CreditTokens += c.blockTokens
 			}
 		case b != nil && b.onHost:
-			if !c.freeDeviceSlot(&g) {
+			if !c.canFreeDeviceSlot() {
 				g.Unallocated = int(want - i)
 				c.finish(&g, transferred, want-i)
 				return g
 			}
+			// Pull the promoting block off the host tier before evicting:
+			// a spill forced by this promotion must never pick b as its
+			// host-eviction victim, and b's freed host slot absorbs the
+			// spilled block instead of dropping another host block.
 			c.hostList.remove(b)
 			b.onHost = false
+			c.freeDeviceSlot(&g)
 			b.refs = 1
 			c.deviceUsed++
 			if transferred {
@@ -391,6 +396,13 @@ func (c *Cache) finish(g *Grant, transferred bool, unallocated int64) {
 	if !transferred {
 		c.stats.ReusedTokens += g.CreditTokens
 	}
+}
+
+// canFreeDeviceSlot reports whether freeDeviceSlot would succeed: a
+// device slot is open or an unpinned block can be evicted. It never
+// mutates, so callers may check it before touching tier state.
+func (c *Cache) canFreeDeviceSlot() bool {
+	return c.deviceUsed < c.deviceCap || c.deviceFree.front != nil
 }
 
 // freeDeviceSlot makes room for one device block, evicting the coldest

@@ -237,6 +237,36 @@ func TestHostEviction(t *testing.T) {
 	checkLedger(t, c)
 }
 
+// Regression: promoting a host block whose own promotion forces a spill
+// into a full host tier must never pick the promoted block as the
+// host-eviction victim. With one device block and one host block, two
+// alternating sessions make every acquire a promotion whose spill lands
+// in the slot the promotion just freed — no host block is ever dropped,
+// and the cache keeps serving restores forever.
+func TestPromoteWithFullHostTier(t *testing.T) {
+	c := mustNew(t, Config{BlockTokens: 16, DeviceBlocks: 1, HostSpillBlocks: 1})
+	for s := int64(1); s <= 2; s++ {
+		g := c.Acquire(s, 17, false) // 1 block each; session 2 spills session 1 to host
+		c.Release(s, g.Pinned)
+	}
+	for turn := 0; turn < 6; turn++ {
+		s := int64(1 + turn%2)
+		g := c.Acquire(s, 17, false)
+		if g.Restored != 1 || g.Unallocated != 0 || g.HostEvicted != 0 {
+			t.Fatalf("turn %d session %d: %+v", turn, s, g)
+		}
+		if c.DeviceResident() != 1 || c.HostResident() != 1 {
+			t.Fatalf("turn %d occupancy: device %d host %d, want 1/1",
+				turn, c.DeviceResident(), c.HostResident())
+		}
+		c.Release(s, g.Pinned)
+	}
+	if st := c.Stats(); st.HostEvictions != 0 {
+		t.Fatalf("promotions dropped host blocks: %+v", st)
+	}
+	checkLedger(t, c)
+}
+
 // Transferred acquires count host promotions as hits, not restores, and
 // grant no reuse credit toward the ledger's ReusedTokens.
 func TestTransferredAcquire(t *testing.T) {
