@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	skip "github.com/skipsim/skip"
+)
+
+// cmdBenchPerf replays a canonical 8-instance heterogeneous fleet with
+// the windowed timeline enabled and self-profiling on, then writes the
+// simulator's own performance figures (events/sec, allocs/event) to a
+// flat JSON file — the raw-speed trajectory ROADMAP item 4 tracks
+// across PRs. The simulated workload is fully seeded, so the simulated
+// numbers are bit-stable; only the wall-clock figures vary by machine.
+func cmdBenchPerf(args []string) error {
+	fs := flag.NewFlagSet("bench-perf", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "CI smoke sizing: 200 requests instead of 2000")
+	out := fs.String("o", "BENCH_perf.json", "write the perf figures to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	const (
+		fleetDesc  = "GH200:4,Intel+H100:4"
+		model      = "llama-3.2-1B"
+		intervalMs = 250.0
+	)
+	requests := 2000
+	if *quick {
+		requests = 200
+	}
+	sp := &skip.Spec{
+		Model: model,
+		Workload: &skip.WorkloadSpec{
+			Scenario: "chat", Requests: requests, RatePerSec: 120, Seed: 42,
+		},
+		Serve: &skip.ServeSpec{
+			MaxBatch:  16,
+			Seq:       512,
+			TTFTSLOMs: 500,
+		},
+		Fleet: &skip.FleetSpec{
+			Groups: []skip.FleetGroupSpec{
+				{Platform: skip.GH200, Count: 4},
+				{Platform: skip.IntelH100, Count: 4},
+			},
+			Router: "least-queue",
+		},
+		Observability: &skip.ObservabilitySpec{
+			Timeline: &skip.TimelineSpec{IntervalMs: intervalMs},
+		},
+	}
+
+	rep, err := skip.Simulate(sp, skip.WithProfile())
+	if err != nil {
+		return err
+	}
+	p, tl, st := rep.Profile, rep.Timeline, rep.Cluster
+
+	expected := int(math.Ceil(float64(st.Horizon) / (intervalMs * 1e6)))
+	if expected < 1 {
+		expected = 1
+	}
+	result := map[string]any{
+		"fleet":            fleetDesc,
+		"model":            model,
+		"requests":         requests,
+		"quick":            *quick,
+		"completed":        st.Completed,
+		"simulated_ms":     float64(p.SimulatedNs) / 1e6,
+		"wall_ms":          float64(p.WallNs) / 1e6,
+		"events":           p.Events,
+		"events_per_sec":   p.EventsPerSec,
+		"mallocs":          p.Mallocs,
+		"allocs_per_event": p.AllocsPerEvent,
+		"alloc_bytes":      p.AllocBytes,
+		"heap_alloc_bytes": p.HeapAllocBytes,
+		"timeline_windows": tl.Windows,
+		"expected_windows": expected,
+	}
+	data, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("bench-perf: %s / %s  %d requests (%d completed)\n",
+		fleetDesc, model, requests, st.Completed)
+	fmt.Printf("  simulated %v in wall %v  (%.0fx real time)\n",
+		time.Duration(p.SimulatedNs).Round(time.Millisecond),
+		time.Duration(p.WallNs).Round(time.Microsecond),
+		ratio(float64(p.SimulatedNs), float64(p.WallNs)))
+	fmt.Printf("  %d events  %.0f events/s  %.1f allocs/event\n",
+		p.Events, p.EventsPerSec, p.AllocsPerEvent)
+	fmt.Printf("  timeline %d windows at %gms (expected %d)\n", tl.Windows, intervalMs, expected)
+	fmt.Printf("written to %s\n", *out)
+	return nil
+}

@@ -54,6 +54,8 @@ func main() {
 		err = cmdCluster(args)
 	case "sim":
 		err = cmdSim(args)
+	case "bench-perf":
+		err = cmdBenchPerf(args)
 	case "microbench":
 		err = cmdMicrobench()
 	case "-h", "--help", "help":
@@ -97,7 +99,13 @@ commands:
                or trace-replay workloads (see examples/specs/); a sweep
                section runs the document once per value of one field
                (points execute in parallel) and prints the series; -json
-               prints the unified report machine-consumably
+               prints the unified report machine-consumably; an
+               observability.timeline spec section adds windowed fleet
+               time series (-timeline-csv exports them), and -profile /
+               -progress / -cpuprofile measure the simulator itself
+  bench-perf   replay a canonical 8-instance fleet with profiling on and
+               write the simulator's events/sec + allocs/event figures
+               to BENCH_perf.json (-quick for CI smoke sizing)
   microbench   nullKernel launch-overhead microbenchmark (Table V)
 
 run, generate, serve, and cluster are thin adapters that translate their

@@ -6,8 +6,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	skip "github.com/skipsim/skip"
 )
@@ -26,6 +29,11 @@ func cmdSim(args []string) error {
 	eventsOut := fs.String("events-out", "", "serve/fleet specs: write the event stream to this file as JSON lines (one event per line, Seq-numbered)")
 	cfK := fs.Int("counterfactual-k", 0, "fleet specs: record every routing decision with up to K scored alternatives plus counterfactual policy replays (overrides observability.counterfactual_k)")
 	metricsCSV := fs.String("metrics-csv", "", "write the report.metrics series to this CSV file (one row per sweep point; needs a report.metrics section)")
+	timelineCSV := fs.String("timeline-csv", "", "write the windowed Report.Timeline series to this CSV file (one row per window; needs an observability.timeline section)")
+	profile := fs.Bool("profile", false, "measure the simulator itself (wall time, events/sec, allocs/event) and print the Report.Profile block")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (taken after the simulation) to this file")
+	progress := fs.Bool("progress", false, "print a heartbeat to stderr at every progress tick: wall time, simulated time, live events/sec")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +98,23 @@ func cmdSim(args []string) error {
 		tb = skip.NewTimelineBuilder()
 		observers = append(observers, tb.Observe)
 	}
+	if *progress {
+		if isRun {
+			return fmt.Errorf("sim: -progress needs a serve or fleet spec (run specs emit no lifecycle events)")
+		}
+		start := time.Now()
+		var seen int64
+		observers = append(observers, func(e skip.Event) {
+			seen++
+			if e.Type != skip.EventProgress {
+				return
+			}
+			wall := time.Since(start)
+			eps := float64(seen) / wall.Seconds()
+			fmt.Fprintf(os.Stderr, "progress: %d/%d completed  wall %v  simulated %v  %.0f events/s\n",
+				e.Completed, e.Total, wall.Round(time.Millisecond), e.Time, eps)
+		})
+	}
 	var opts []skip.SimOption
 	if len(observers) > 0 {
 		opts = append(opts, skip.WithObserver(func(e skip.Event) {
@@ -98,9 +123,35 @@ func cmdSim(args []string) error {
 			}
 		}))
 	}
+	if *profile {
+		opts = append(opts, skip.WithProfile())
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	rep, err := skip.Simulate(sp, opts...)
 	if err != nil {
 		return err
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(statusOut, "heap profile written to %s\n", *memprofile)
 	}
 	if encErr != nil {
 		return encErr
@@ -133,6 +184,15 @@ func cmdSim(args []string) error {
 			return err
 		}
 		fmt.Fprintf(statusOut, "metrics written to %s\n", *metricsCSV)
+	}
+	if *timelineCSV != "" {
+		if err := writeTimelineCSV(*timelineCSV, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(statusOut, "timeline written to %s (%d windows)\n", *timelineCSV, rep.Timeline.Windows)
+	}
+	if *profile && !*jsonOut {
+		printProfile(rep.Profile)
 	}
 	if *out != "" {
 		tr := traceOf(rep)
@@ -226,6 +286,77 @@ func writeMetricsCSV(path string, rep *skip.Report) error {
 	}
 	w.Flush()
 	return w.Error()
+}
+
+// writeTimelineCSV exports the windowed timeline as CSV: one row per
+// window, leading with the window index and its start time, then every
+// fleet series, then every per-instance series as "<instance>.<name>"
+// columns.
+func writeTimelineCSV(path string, rep *skip.Report) error {
+	tl := rep.Timeline
+	if tl == nil {
+		return fmt.Errorf("sim: -timeline-csv needs an observability.timeline section in the spec")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"window", "t_ms"}
+	cols := make([][]float64, 0, len(tl.Fleet))
+	for _, s := range tl.Fleet {
+		header = append(header, s.Name)
+		cols = append(cols, s.Values)
+	}
+	for _, in := range tl.Instances {
+		for _, s := range in.Series {
+			header = append(header, in.Instance+"."+s.Name)
+			cols = append(cols, s.Values)
+		}
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < tl.Windows; i++ {
+		row := make([]string, 0, len(cols)+2)
+		row = append(row, strconv.Itoa(i),
+			strconv.FormatFloat(float64(i)*tl.IntervalMs, 'g', -1, 64))
+		for _, c := range cols {
+			v := 0.0
+			if i < len(c) {
+				v = c[i]
+			}
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// printProfile renders the simulator's self-measurement block.
+func printProfile(p *skip.SimProfile) {
+	if p == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Println("  simulator profile")
+	wall := time.Duration(p.WallNs)
+	fmt.Printf("    wall time      %v  (simulated %v, %.0fx real time)\n",
+		wall.Round(time.Microsecond), time.Duration(p.SimulatedNs), ratio(float64(p.SimulatedNs), float64(p.WallNs)))
+	fmt.Printf("    events         %d  (%.0f events/s)\n", p.Events, p.EventsPerSec)
+	fmt.Printf("    allocations    %d (%.1f MB total, %.1f/event)  heap now %.1f MB\n",
+		p.Mallocs, float64(p.AllocBytes)/1e6, p.AllocsPerEvent, float64(p.HeapAllocBytes)/1e6)
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // printMetrics renders the derived series a report.metrics section

@@ -143,15 +143,14 @@ func (f *fleetSim) assembleStats() *Stats {
 	}
 
 	st.MeanTTFT, st.MaxTTFT = MeanMax(ttfts)
-	st.P50TTFT = serve.Percentile(ttfts, 50)
-	st.P95TTFT = serve.Percentile(ttfts, 95)
-	st.P99TTFT = serve.Percentile(ttfts, 99)
+	pt := serve.Percentiles(ttfts, 50, 95, 99)
+	st.P50TTFT, st.P95TTFT, st.P99TTFT = pt[0], pt[1], pt[2]
 	st.MeanTPOT, _ = MeanMax(tpots)
-	st.P50TPOT = serve.Percentile(tpots, 50)
-	st.P95TPOT = serve.Percentile(tpots, 95)
+	pp := serve.Percentiles(tpots, 50, 95)
+	st.P50TPOT, st.P95TPOT = pp[0], pp[1]
 	st.MeanE2E, st.MaxE2E = MeanMax(e2es)
-	st.P50E2E = serve.Percentile(e2es, 50)
-	st.P95E2E = serve.Percentile(e2es, 95)
+	pe := serve.Percentiles(e2es, 50, 95)
+	st.P50E2E, st.P95E2E = pe[0], pe[1]
 
 	if st.Horizon > 0 {
 		sec := st.Horizon.Seconds()

@@ -118,6 +118,14 @@ type contSim struct {
 	peakKV             float64
 	kvIntegral         float64 // ∫ kvFrac dt
 	lastSampleT        sim.Time
+	lastKVFrac         float64 // KV fraction as of lastSampleT
+	// Windowed downsampling state (cfg.SampleWindow > 0): the open
+	// window's start and its queue/KV level integrals. Completed
+	// windows flush one time-weighted mean point each.
+	winStart   sim.Time
+	winQueue   float64
+	winKV      float64
+	lastQueueN int
 }
 
 // newContSim builds a continuous-batching simulator on the given
@@ -558,11 +566,30 @@ func (s *contSim) emitToken(r *contRequest, end sim.Time) {
 		r.hasFirst = true
 		r.firstTok = end
 		s.ttfts = append(s.ttfts, end-r.req.Arrival)
-		s.emit(end, EventFirstToken, r)
+		if s.cfg.Observer != nil {
+			s.cfg.Observer(Event{
+				Time: end, Type: EventFirstToken,
+				RequestID: r.req.ID, SessionID: r.req.SessionID,
+				TTFT: end - r.req.Arrival,
+			})
+		}
 	}
 	if r.generated >= r.outputLen {
 		s.completed++
-		s.emit(end, EventCompleted, r)
+		if s.cfg.Observer != nil {
+			ev := Event{
+				Time: end, Type: EventCompleted,
+				RequestID: r.req.ID, SessionID: r.req.SessionID,
+				Tokens: r.delivered,
+			}
+			if r.hasFirst {
+				ev.TTFT = r.firstTok - r.req.Arrival
+			}
+			if r.outputLen > 1 {
+				ev.TPOT = (end - r.firstTok) / sim.Time(r.outputLen-1)
+			}
+			s.cfg.Observer(ev)
+		}
 		s.e2es = append(s.e2es, end-r.req.Arrival)
 		if r.outputLen > 1 {
 			s.tpots = append(s.tpots, (end-r.firstTok)/sim.Time(r.outputLen-1))
@@ -621,26 +648,86 @@ func (s *contSim) removeRunning(r *contRequest) {
 }
 
 // sample records the queue-depth and KV-occupancy series and advances
-// the time-weighted KV integral.
+// the time-weighted KV integral. With SampleWindow set the per-event
+// series are downsampled: levels integrate into the open window and
+// each completed window flushes one mean point instead of appending a
+// point per scheduling event.
 func (s *contSim) sample(now sim.Time) {
 	frac := s.kvUsed / s.capacity
 	if now > s.lastSampleT {
 		// Integrate the previous level over the elapsed interval.
-		prev := 0.0
-		if n := len(s.kvSeries); n > 0 {
-			prev = s.kvSeries[n-1].V
+		s.kvIntegral += s.lastKVFrac * float64(now-s.lastSampleT)
+		if s.cfg.SampleWindow > 0 {
+			s.integrateWindows(now)
 		}
-		s.kvIntegral += prev * float64(now-s.lastSampleT)
 		s.lastSampleT = now
 	}
-	s.queueSeries = append(s.queueSeries, SamplePoint{T: now, V: float64(len(s.waiting))})
-	s.kvSeries = append(s.kvSeries, SamplePoint{T: now, V: frac})
+	if s.cfg.SampleWindow <= 0 {
+		s.queueSeries = append(s.queueSeries, SamplePoint{T: now, V: float64(len(s.waiting))})
+		s.kvSeries = append(s.kvSeries, SamplePoint{T: now, V: frac})
+	}
+	s.lastKVFrac = frac
+	s.lastQueueN = len(s.waiting)
 	if len(s.waiting) > s.maxQueue {
 		s.maxQueue = len(s.waiting)
 	}
 	if s.kvUsed > s.peakKV {
 		s.peakKV = s.kvUsed
 	}
+	if s.cfg.EmitStateSamples && s.cfg.Observer != nil {
+		lookups, hits := int64(0), int64(0)
+		if s.cache != nil {
+			cs := s.cache.Stats()
+			lookups, hits = cs.Lookups, cs.Hits+cs.Restored
+		}
+		s.cfg.Observer(Event{
+			Time: now,
+			Type: EventStateSample,
+			State: &StateSample{
+				Queue:        len(s.waiting),
+				Running:      len(s.running),
+				KVFrac:       frac,
+				CacheLookups: lookups,
+				CacheHits:    hits,
+			},
+		})
+	}
+}
+
+// integrateWindows carries the held levels from lastSampleT to now,
+// flushing one mean point per window boundary crossed.
+func (s *contSim) integrateWindows(now sim.Time) {
+	w := s.cfg.SampleWindow
+	t := s.lastSampleT
+	for t < now {
+		end := s.winStart + w
+		if end > now {
+			s.winQueue += float64(s.lastQueueN) * float64(now-t)
+			s.winKV += s.lastKVFrac * float64(now-t)
+			return
+		}
+		s.winQueue += float64(s.lastQueueN) * float64(end-t)
+		s.winKV += s.lastKVFrac * float64(end-t)
+		dur := float64(w)
+		s.queueSeries = append(s.queueSeries, SamplePoint{T: end, V: s.winQueue / dur})
+		s.kvSeries = append(s.kvSeries, SamplePoint{T: end, V: s.winKV / dur})
+		s.winQueue, s.winKV = 0, 0
+		s.winStart = end
+		t = end
+	}
+}
+
+// flushWindow closes the open, partial sampling window at the end of
+// the run (stats assembly).
+func (s *contSim) flushWindow() {
+	if s.cfg.SampleWindow <= 0 || s.lastSampleT <= s.winStart {
+		return
+	}
+	dur := float64(s.lastSampleT - s.winStart)
+	s.queueSeries = append(s.queueSeries, SamplePoint{T: s.lastSampleT, V: s.winQueue / dur})
+	s.kvSeries = append(s.kvSeries, SamplePoint{T: s.lastSampleT, V: s.winKV / dur})
+	s.winQueue, s.winKV = 0, 0
+	s.winStart = s.lastSampleT
 }
 
 // cacheStats assembles the prefix-cache ledger; nil when no cache is
@@ -675,6 +762,7 @@ func (s *contSim) cacheStats() *KVCacheStats {
 
 // stats assembles the final Stats from the accumulators.
 func (s *contSim) stats() *Stats {
+	s.flushWindow()
 	st := &Stats{
 		Requests:        s.completed + s.abandoned + s.handedOff + s.killed,
 		Completed:       s.completed,

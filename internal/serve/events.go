@@ -80,6 +80,12 @@ const (
 	// for an admission, stalling the request by the interconnect-priced
 	// copy (prefix cache only). Detail: "blocks=N bytes=B".
 	EventBlockRestore
+	// EventStateSample: a periodic instance-state snapshot (queue depth,
+	// running batch, KV occupancy, cumulative cache counters) carried in
+	// State. Emitted at every scheduling event only when
+	// Config.EmitStateSamples is set — the windowed timeline aggregator's
+	// level-signal feed; default event streams never see it.
+	EventStateSample
 )
 
 func (t EventType) String() string {
@@ -124,6 +130,8 @@ func (t EventType) String() string {
 		return "block-evict"
 	case EventBlockRestore:
 		return "block-restore"
+	case EventStateSample:
+		return "state-sample"
 	default:
 		return fmt.Sprintf("event(%d)", int(t))
 	}
@@ -161,13 +169,41 @@ type Event struct {
 	// Completed / Total carry the EventProgress payload.
 	Completed int
 	Total     int
+	// TTFT is the request's time-to-first-token, stamped on
+	// EventFirstToken and EventCompleted (0 elsewhere, and on
+	// completions that never emitted a token).
+	TTFT sim.Time
+	// TPOT is the request's mean inter-token time, stamped on
+	// EventCompleted when the request decoded more than one token.
+	TPOT sim.Time
+	// Tokens is the request's delivered output-token count, stamped on
+	// EventCompleted.
+	Tokens int64
+	// State carries the EventStateSample payload (nil for every other
+	// event type).
+	State *StateSample
+}
+
+// StateSample is an instance-state snapshot: the EventStateSample
+// payload. Cache counters are cumulative since the start of the run
+// (zero when the instance has no prefix cache).
+type StateSample struct {
+	// Queue / Running are the wait-queue length and running-batch size.
+	Queue   int
+	Running int
+	// KVFrac is the KV budget fraction in use.
+	KVFrac float64
+	// CacheLookups / CacheHits are the prefix cache's cumulative lookup
+	// and hit (device hits + host restores) counts.
+	CacheLookups int64
+	CacheHits    int64
 }
 
 // lifecycle reports whether the event describes an instance rather than
 // a request (no RequestID to print).
 func (t EventType) lifecycle() bool {
 	switch t {
-	case EventInstanceJoin, EventDrainStart, EventInstanceGone, EventFaultInjected:
+	case EventInstanceJoin, EventDrainStart, EventInstanceGone, EventFaultInjected, EventStateSample:
 		return true
 	}
 	return false
@@ -210,18 +246,23 @@ func (e Event) String() string {
 // everything optional is omitted when empty.
 func (e Event) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		Seq       int64  `json:"seq"`
-		TimeNs    int64  `json:"t_ns"`
-		Type      string `json:"type"`
-		RequestID int    `json:"req"`
-		SessionID int64  `json:"session,omitempty"`
-		Instance  string `json:"instance,omitempty"`
-		Link      string `json:"link,omitempty"`
-		Detail    string `json:"detail,omitempty"`
-		Completed int    `json:"completed,omitempty"`
-		Total     int    `json:"total,omitempty"`
+		Seq       int64        `json:"seq"`
+		TimeNs    int64        `json:"t_ns"`
+		Type      string       `json:"type"`
+		RequestID int          `json:"req"`
+		SessionID int64        `json:"session,omitempty"`
+		Instance  string       `json:"instance,omitempty"`
+		Link      string       `json:"link,omitempty"`
+		Detail    string       `json:"detail,omitempty"`
+		Completed int          `json:"completed,omitempty"`
+		Total     int          `json:"total,omitempty"`
+		TTFT      int64        `json:"ttft_ns,omitempty"`
+		TPOT      int64        `json:"tpot_ns,omitempty"`
+		Tokens    int64        `json:"tokens,omitempty"`
+		State     *StateSample `json:"state,omitempty"`
 	}{e.Seq, int64(e.Time), e.Type.String(), e.RequestID,
-		e.SessionID, e.Instance, e.Link, e.Detail, e.Completed, e.Total})
+		e.SessionID, e.Instance, e.Link, e.Detail, e.Completed, e.Total,
+		int64(e.TTFT), int64(e.TPOT), e.Tokens, e.State})
 }
 
 // Observer receives simulation events as they happen. Observers must

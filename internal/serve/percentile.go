@@ -23,6 +23,24 @@ func Percentile(samples []sim.Time, p float64) sim.Time {
 	return percentileSorted(sorted, p)
 }
 
+// Percentiles returns the nearest-rank percentiles for every p in ps
+// with a single copy-and-sort of the samples — the stats assemblers
+// ask for three or more percentiles of the same pooled sample set, and
+// one sort serves them all. A zero-length input returns all zeros.
+func Percentiles(samples []sim.Time, ps ...float64) []sim.Time {
+	out := make([]sim.Time, len(ps))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := make([]sim.Time, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
 // percentileSorted is the nearest-rank lookup on an already-sorted
 // sample slice: rank = ceil(p/100 × n), clamped to [1, n].
 func percentileSorted(sorted []sim.Time, p float64) sim.Time {

@@ -25,17 +25,20 @@ func (m *MetricSpec) name() string {
 	return m.Path
 }
 
-// metricRoots lists the report sections a base kind populates.
+// metricRoots lists the report sections a base kind populates. The
+// timeline and profile sections are addressable for every workload kind
+// (presence still depends on the matching observability section or
+// WithProfile, checked at extraction time like any nil section).
 func metricRoots(k Kind) []string {
 	switch k {
 	case KindRun:
-		return []string{"run", "generate"}
+		return []string{"run", "generate", "profile"}
 	case KindServe:
-		return []string{"serve", "offered"}
+		return []string{"serve", "offered", "timeline", "profile"}
 	case KindCluster:
-		return []string{"cluster", "offered"}
+		return []string{"cluster", "offered", "timeline", "profile"}
 	case KindDisagg:
-		return []string{"disagg", "offered"}
+		return []string{"disagg", "offered", "timeline", "profile"}
 	}
 	return nil
 }

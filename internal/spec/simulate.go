@@ -2,12 +2,16 @@ package spec
 
 import (
 	"encoding/json"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"github.com/skipsim/skip/internal/cluster"
 	"github.com/skipsim/skip/internal/disagg"
 	"github.com/skipsim/skip/internal/engine"
 	"github.com/skipsim/skip/internal/hw"
 	"github.com/skipsim/skip/internal/kvcache"
+	"github.com/skipsim/skip/internal/metrics"
 	"github.com/skipsim/skip/internal/models"
 	"github.com/skipsim/skip/internal/serve"
 	"github.com/skipsim/skip/internal/sim"
@@ -45,6 +49,17 @@ type Report struct {
 	// Offered is the workload's request count (serve, cluster, and
 	// disagg kinds).
 	Offered int `json:"offered,omitempty"`
+
+	// Timeline is the windowed fleet time series an
+	// observability.timeline section requests; absent otherwise, so
+	// timeline-off reports stay bit-identical.
+	Timeline *metrics.Timeline `json:"timeline,omitempty"`
+
+	// Profile is the simulator's self-measurement (wall time, events
+	// processed, allocation churn); present only under WithProfile /
+	// `skip sim -profile`, because wall time is machine-dependent by
+	// nature.
+	Profile *metrics.Profile `json:"profile,omitempty"`
 }
 
 // Metric is one extracted series: Values holds a single element for a
@@ -72,6 +87,8 @@ type options struct {
 	observer      serve.Observer
 	progressEvery int
 	sweepWorkers  int
+	profile       bool
+	counter       *atomic.Int64
 }
 
 // Option customizes a Simulate call without touching the Spec — the
@@ -102,6 +119,78 @@ func WithSweepWorkers(n int) Option {
 	return func(o *options) { o.sweepWorkers = n }
 }
 
+// WithProfile records the simulator's own cost into Report.Profile:
+// wall time, events processed, events/sec, allocation churn, and heap
+// high-water mark. The simulated results are unaffected — only the
+// profile block itself is machine-dependent.
+func WithProfile() Option {
+	return func(o *options) {
+		o.profile = true
+		if o.counter == nil {
+			o.counter = new(atomic.Int64)
+		}
+	}
+}
+
+// withCounter shares an existing event counter: sweep points feed the
+// parent run's tally instead of opening their own.
+func withCounter(c *atomic.Int64) Option {
+	return func(o *options) { o.counter = c }
+}
+
+// chainObs composes two observers, tolerating nils, so internal taps
+// (timeline aggregator, profile counter) ride the event stream without
+// disturbing the user's observer.
+func chainObs(a, b serve.Observer) serve.Observer {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(e serve.Event) { a(e); b(e) }
+}
+
+// countObs appends the profile event counter to obs when profiling.
+func (o *options) countObs(obs serve.Observer) serve.Observer {
+	if o.counter == nil {
+		return obs
+	}
+	c := o.counter
+	return chainObs(obs, func(serve.Event) { c.Add(1) })
+}
+
+// timelineAgg builds the windowed aggregator an observability.timeline
+// section requests (nil when absent). initial seeds the active-instance
+// level before any join/leave events; fleet-shape series are only
+// emitted for multi-instance kinds, and the cache series only when a
+// prefix cache is actually configured.
+func (s *Spec) timelineAgg(kind Kind, initial int) *metrics.Aggregator {
+	if s.Observability == nil || s.Observability.Timeline == nil {
+		return nil
+	}
+	tl := s.Observability.Timeline
+	var slo sim.Time
+	if s.Serve != nil {
+		slo = sim.Time(s.Serve.TTFTSLOMs * 1e6)
+	}
+	fleet := kind == KindCluster || kind == KindDisagg
+	return metrics.NewAggregator(metrics.AggregatorConfig{
+		Interval:         sim.Time(tl.IntervalMs * 1e6),
+		PerInstance:      tl.PerInstance,
+		SLO:              slo,
+		InitialInstances: initial,
+		FleetSeries:      fleet,
+		TransferSeries:   kind == KindDisagg,
+		CacheSeries:      fleet && s.Fleet.KVCache != nil,
+	})
+}
+
+// timelineWindow is the spec's window width as virtual time.
+func (s *Spec) timelineWindow() sim.Time {
+	return sim.Time(s.Observability.Timeline.IntervalMs * 1e6)
+}
+
 // Simulate validates the spec and dispatches it to the engine, serving,
 // or cluster layer (see Kind), returning a unified Report; a spec with
 // a sweep section runs once per swept value and returns the ordered
@@ -119,6 +208,12 @@ func Simulate(s *Spec, opts ...Option) (*Report, error) {
 	if o.observer != nil {
 		o.observer = stampSeq(o.observer)
 	}
+	var before runtime.MemStats
+	var start time.Time
+	if o.profile {
+		runtime.ReadMemStats(&before)
+		start = time.Now()
+	}
 	var rep *Report
 	var err error
 	switch s.Kind() {
@@ -135,6 +230,27 @@ func Simulate(s *Spec, opts ...Option) (*Report, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if o.profile {
+		wall := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		events := o.counter.Load()
+		p := &metrics.Profile{
+			WallNs:         wall.Nanoseconds(),
+			SimulatedNs:    simulatedNs(rep),
+			Events:         events,
+			Mallocs:        int64(after.Mallocs - before.Mallocs),
+			AllocBytes:     int64(after.TotalAlloc - before.TotalAlloc),
+			HeapAllocBytes: int64(after.HeapAlloc),
+		}
+		if wall > 0 {
+			p.EventsPerSec = float64(events) / wall.Seconds()
+		}
+		if events > 0 {
+			p.AllocsPerEvent = float64(p.Mallocs) / float64(events)
+		}
+		rep.Profile = p
 	}
 	if s.Report != nil {
 		if err := s.attachMetrics(rep); err != nil {
@@ -289,9 +405,18 @@ func (s *Spec) simulateServe(o *options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := s.serveConfig(progressObserver(o.observer, len(reqs), o.progressEvery))
+	agg := s.timelineAgg(KindServe, 1)
+	obs := progressObserver(o.observer, len(reqs), o.progressEvery)
+	if agg != nil {
+		obs = chainObs(obs, agg.Observe)
+	}
+	cfg, err := s.serveConfig(o.countObs(obs))
 	if err != nil {
 		return nil, err
+	}
+	if agg != nil {
+		cfg.EmitStateSamples = true
+		cfg.SampleWindow = s.timelineWindow()
 	}
 	cfg.Platform, err = s.platform()
 	if err != nil {
@@ -301,7 +426,11 @@ func (s *Spec) simulateServe(o *options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Kind: KindServe, Serve: st, Offered: len(reqs)}, nil
+	rep := &Report{Kind: KindServe, Serve: st, Offered: len(reqs)}
+	if agg != nil {
+		rep.Timeline = agg.Finish(st.Horizon)
+	}
+	return rep, nil
 }
 
 func (s *Spec) simulateCluster(o *options) (*Report, error) {
@@ -320,6 +449,15 @@ func (s *Spec) simulateCluster(o *options) (*Report, error) {
 			return nil, err
 		}
 	}
+	initial := 0
+	for _, g := range f.Groups {
+		initial += g.Count
+	}
+	agg := s.timelineAgg(KindCluster, initial)
+	if agg != nil {
+		base.EmitStateSamples = true
+		base.SampleWindow = s.timelineWindow()
+	}
 	groups := make([]cluster.FleetGroup, len(f.Groups))
 	for i, g := range f.Groups {
 		p, err := hw.ByName(g.Platform)
@@ -336,6 +474,10 @@ func (s *Spec) simulateCluster(o *options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	obs := progressObserver(o.observer, len(reqs), o.progressEvery)
+	if agg != nil {
+		obs = chainObs(obs, agg.Observe)
+	}
 	ccfg := cluster.Config{
 		Instances:       instances,
 		Policy:          router,
@@ -343,7 +485,7 @@ func (s *Spec) simulateCluster(o *options) (*Report, error) {
 		TTFTSLO:         base.TTFTSLO,
 		AdmitRatePerSec: f.AdmitRatePerSec,
 		AdmitBurst:      f.AdmitBurst,
-		Observer:        progressObserver(o.observer, len(reqs), o.progressEvery),
+		Observer:        o.countObs(obs),
 	}
 	if s.Observability != nil {
 		ccfg.CounterfactualK = s.Observability.CounterfactualK
@@ -361,7 +503,11 @@ func (s *Spec) simulateCluster(o *options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Kind: KindCluster, Cluster: st, Offered: len(reqs)}, nil
+	rep := &Report{Kind: KindCluster, Cluster: st, Offered: len(reqs)}
+	if agg != nil {
+		rep.Timeline = agg.Finish(st.Horizon)
+	}
+	return rep, nil
 }
 
 func (s *Spec) simulateDisagg(o *options) (*Report, error) {
@@ -380,6 +526,15 @@ func (s *Spec) simulateDisagg(o *options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	initial := 0
+	for _, g := range f.Groups {
+		initial += g.Count
+	}
+	agg := s.timelineAgg(KindDisagg, initial)
+	if agg != nil {
+		base.EmitStateSamples = true
+		base.SampleWindow = s.timelineWindow()
 	}
 	groups := make([]disagg.Group, len(f.Groups))
 	for i, g := range f.Groups {
@@ -401,6 +556,10 @@ func (s *Spec) simulateDisagg(o *options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	obs := progressObserver(o.observer, len(reqs), o.progressEvery)
+	if agg != nil {
+		obs = chainObs(obs, agg.Observe)
+	}
 	dcfg := disagg.Config{
 		Groups:        groups,
 		Base:          base,
@@ -416,7 +575,7 @@ func (s *Spec) simulateDisagg(o *options) (*Report, error) {
 		TTFTSLO:         base.TTFTSLO,
 		AdmitRatePerSec: f.AdmitRatePerSec,
 		AdmitBurst:      f.AdmitBurst,
-		Observer:        progressObserver(o.observer, len(reqs), o.progressEvery),
+		Observer:        o.countObs(obs),
 	}
 	if s.Observability != nil {
 		dcfg.CounterfactualK = s.Observability.CounterfactualK
@@ -438,7 +597,11 @@ func (s *Spec) simulateDisagg(o *options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Kind: KindDisagg, Disagg: st, Offered: len(reqs)}, nil
+	rep := &Report{Kind: KindDisagg, Disagg: st, Offered: len(reqs)}
+	if agg != nil {
+		rep.Timeline = agg.Finish(st.Horizon)
+	}
+	return rep, nil
 }
 
 // config builds the cluster.AutoscaleConfig an AutoscaleSpec describes:
@@ -499,6 +662,28 @@ func (fc *FaultsSpec) config() *cluster.FaultsConfig {
 		})
 	}
 	return out
+}
+
+// simulatedNs extracts the virtual span a report covers (sweeps sum
+// their points), giving Profile a simulated-vs-wall time ratio.
+func simulatedNs(rep *Report) int64 {
+	switch {
+	case rep.Serve != nil:
+		return int64(rep.Serve.Horizon)
+	case rep.Cluster != nil:
+		return int64(rep.Cluster.Horizon)
+	case rep.Disagg != nil:
+		return int64(rep.Disagg.Horizon)
+	case rep.Sweep != nil:
+		var total int64
+		for i := range rep.Sweep {
+			if rep.Sweep[i].Report != nil {
+				total += simulatedNs(rep.Sweep[i].Report)
+			}
+		}
+		return total
+	}
+	return 0
 }
 
 // progressObserver forwards events to obs and interleaves an

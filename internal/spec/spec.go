@@ -112,6 +112,23 @@ type ObservabilitySpec struct {
 	// of the stateless policies over the same picks — the report then
 	// carries cluster.Routing or disagg.PrefillRouting/DecodeRouting.
 	CounterfactualK int `json:"counterfactual_k,omitempty"`
+	// Timeline, when present, aggregates the run into per-interval
+	// windowed fleet series (TTFT/TPOT percentiles, throughput, SLO
+	// attainment, queue depth, KV occupancy, and — per layer — fleet
+	// size, transfer backlog, cache hit rate): the report then carries
+	// Report.Timeline. Serve and fleet specs with a continuous policy
+	// only.
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
+}
+
+// TimelineSpec configures windowed timeline aggregation.
+type TimelineSpec struct {
+	// IntervalMs is the window width in milliseconds. Required,
+	// positive.
+	IntervalMs float64 `json:"interval_ms"`
+	// PerInstance additionally emits a per-instance series subset for
+	// every instance that appears in the run (fleet specs).
+	PerInstance bool `json:"per_instance,omitempty"`
 }
 
 // MetricSpec names one report leaf to extract as a flat series.

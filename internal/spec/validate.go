@@ -140,6 +140,21 @@ func (ob *ObservabilitySpec) validate(s *Spec) error {
 	if ob.CounterfactualK > 0 && s.Fleet == nil {
 		return errAt("observability.counterfactual_k", "routing decision records need a fleet section")
 	}
+	if tl := ob.Timeline; tl != nil {
+		if s.baseKind() == KindRun {
+			return errAt("observability.timeline", "windowed timelines need a workload (serve or fleet spec)")
+		}
+		if tl.IntervalMs <= 0 {
+			return errAt("observability.timeline.interval_ms", "must be positive, got %g", tl.IntervalMs)
+		}
+		// The legacy prefill-only policies emit no events, so there is
+		// nothing to window.
+		if s.baseKind() == KindServe && s.Serve != nil {
+			if policy, _ := serve.ParsePolicy(s.Serve.policyName()); policy == serve.StaticBatch || policy == serve.GreedyBatch {
+				return errAt("observability.timeline", "the %q policy emits no events; timelines need a continuous policy", s.Serve.policyName())
+			}
+		}
+	}
 	return nil
 }
 

@@ -41,6 +41,7 @@ import (
 	"github.com/skipsim/skip/internal/fusion"
 	"github.com/skipsim/skip/internal/hw"
 	"github.com/skipsim/skip/internal/kvcache"
+	"github.com/skipsim/skip/internal/metrics"
 	"github.com/skipsim/skip/internal/models"
 	"github.com/skipsim/skip/internal/serve"
 	"github.com/skipsim/skip/internal/sim"
@@ -582,6 +583,7 @@ const (
 	EventBlockHit        = serve.EventBlockHit
 	EventBlockEvict      = serve.EventBlockEvict
 	EventBlockRestore    = serve.EventBlockRestore
+	EventStateSample     = serve.EventStateSample
 )
 
 // Simulate validates the spec and runs it on the matching layer —
@@ -605,6 +607,18 @@ func WithProgressEvery(n int) SimOption { return spec.WithProgressEvery(n) }
 // on (default: one per CPU). The series is bit-identical at any worker
 // count; an observer forces one worker so events arrive in point order.
 func WithSweepWorkers(n int) SimOption { return spec.WithSweepWorkers(n) }
+
+// WithProfile records the simulator's own cost (wall time, events
+// processed, events/sec, allocation churn) into Report.Profile. The
+// simulated numbers are unaffected.
+func WithProfile() SimOption { return spec.WithProfile() }
+
+// Percentiles computes nearest-rank percentiles over a latency sample
+// set with a single sort (zeros for an empty set) — the bulk form of
+// per-request statistics assembly.
+func Percentiles(samples []sim.Time, ps ...float64) []sim.Time {
+	return serve.Percentiles(samples, ps...)
+}
 
 // LoadSpec reads a spec file; relative trace_file / platform_file
 // references resolve against the file's directory.
@@ -661,6 +675,28 @@ type (
 	// Metric is one extracted series of a Report (one value per sweep
 	// point; a single value for plain runs).
 	Metric = spec.Metric
+	// TimelineSpec is the observability.timeline section: windowed fleet
+	// time series at a fixed interval, optionally per instance.
+	TimelineSpec = spec.TimelineSpec
+	// Timeline is the windowed fleet telemetry of Report.Timeline:
+	// per-interval latency percentiles, throughput, goodput, queue and
+	// KV occupancy, fleet size, and transfer/cache activity.
+	Timeline = metrics.Timeline
+	// TimelineSeries is one named window series of a Timeline.
+	TimelineSeries = metrics.Series
+	// TimelineInstanceSeries is one instance's series block of a
+	// per-instance Timeline.
+	TimelineInstanceSeries = metrics.InstanceSeries
+	// WindowedHistogram is the streaming log-bucketed latency histogram
+	// behind the timeline percentiles: fixed memory, mergeable,
+	// quantiles within ~3.2% relative error.
+	WindowedHistogram = metrics.Histogram
+	// SimProfile is the simulator's self-measurement of Report.Profile:
+	// wall time, events processed, events/sec, allocation churn.
+	SimProfile = metrics.Profile
+	// StateSample is the queue/KV/cache snapshot an EventStateSample
+	// carries.
+	StateSample = serve.StateSample
 )
 
 // Timeline segment kinds.
