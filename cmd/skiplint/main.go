@@ -1,0 +1,89 @@
+// Command skiplint enforces the skip simulator's determinism contract
+// statically: a seeded run must be bit-identical across reruns, worker
+// counts, and refactors, so the bug classes that break that — wall
+// clocks, the global rand source, map-ordered output, unsupervised
+// goroutines, map-ordered float sums — are rejected at review time
+// instead of surfacing as golden-test diffs.
+//
+// Usage:
+//
+//	skiplint [-checks walltime,globalrand,...] [-list] [package ...]
+//
+// Packages are directories or "./..."-style patterns (default "./...",
+// which follows the go tool's conventions and skips testdata). Exit
+// status is 0 when clean, 1 when any diagnostic fires, 2 on usage or
+// load errors.
+//
+// Intentional exceptions carry a reviewed waiver in source:
+//
+//	//skiplint:allow <check> — <reason>
+//
+// on the flagged line or the line above it. The reason is mandatory,
+// unknown check names are errors, and a directive that no longer
+// suppresses anything is reported as stale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/skipsim/skip/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flags := flag.NewFlagSet("skiplint", flag.ExitOnError)
+	checks := flags.String("checks", "", "comma-separated checks to run (default: all)")
+	list := flags.Bool("list", false, "list registered checks and exit")
+	flags.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: skiplint [-checks a,b,...] [-list] [package ...]")
+		flags.PrintDefaults()
+	}
+	flags.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected, err := analysis.Select(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skiplint:", err)
+		return 2
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skiplint:", err)
+		return 2
+	}
+	pkgs, err := analysis.NewLoader().LoadPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skiplint:", err)
+		return 2
+	}
+
+	diags, err := analysis.Run(pkgs, selected, analysis.DefaultScopes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skiplint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "skiplint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

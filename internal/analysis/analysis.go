@@ -1,0 +1,309 @@
+// Package analysis is skip's in-tree static analysis framework: a
+// small, stdlib-only analogue of golang.org/x/tools/go/analysis that
+// exists to enforce the simulator's determinism contract at review
+// time instead of discovering violations in golden-test diffs.
+//
+// Every published result assumes a seeded run is bit-identical across
+// reruns, worker counts, and refactors. The contract that guarantees
+// it — sim time only from sim.Calendar, seeded *rand.Rand values
+// threaded from configs, no map-iteration-ordered output, no
+// unsupervised goroutines — previously lived in convention and code
+// review. The checks in this package reject those bug classes
+// statically; `cmd/skiplint` is the command-line driver and CI runs it
+// on every push.
+//
+// Intentional exceptions are annotated in source with
+//
+//	//skiplint:allow <check>[,<check>...] — <reason>
+//
+// placed on the flagged line or the line immediately above it. The
+// reason is mandatory: an allow directive is a reviewed waiver, not a
+// mute button, and a directive without one (or naming an unknown
+// check) is itself reported as a `directive` diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named determinism check. Run inspects a single
+// type-checked package through its Pass and reports findings with
+// Pass.Reportf; it must not retain the Pass.
+type Analyzer struct {
+	// Name is the check's identifier: what -checks selects, what
+	// diagnostics are tagged with, and what an allow directive names.
+	Name string
+	// Doc is a short description of the rule and why it exists,
+	// shown by `skiplint -list`.
+	Doc string
+	// Run inspects one package and reports diagnostics.
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos, tagged with the running
+// analyzer's name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: which check fired, where, and why.
+type Diagnostic struct {
+	Check    string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Check, d.Message)
+}
+
+// All returns the registered determinism checks in stable order. The
+// set doubles as the directive validator's vocabulary: an allow
+// directive may only name checks listed here.
+func All() []*Analyzer {
+	return []*Analyzer{Walltime, GlobalRand, MapRange, Goroutine, FloatOrder}
+}
+
+// Select resolves a comma-separated -checks value against the
+// registry, returning the named analyzers in registry order. An empty
+// value selects everything.
+func Select(names string) ([]*Analyzer, error) {
+	all := All()
+	if strings.TrimSpace(names) == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown check %q (known: %s)", n, strings.Join(checkNames(), ", "))
+		}
+		want[n] = true
+	}
+	var sel []*Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			sel = append(sel, a)
+		}
+	}
+	return sel, nil
+}
+
+func checkNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// directivePrefix introduces a suppression comment. The comment form
+// is directive-style (no space after //) so gofmt leaves it pinned to
+// its line and ast.CommentGroup.Text omits it from godoc.
+const directivePrefix = "skiplint:allow"
+
+// An allowDirective is one parsed //skiplint:allow comment.
+type allowDirective struct {
+	pos    token.Position
+	checks []string
+	reason string
+	used   bool
+}
+
+// parseDirectives extracts every skiplint:allow directive from the
+// file's comments, reporting malformed ones (missing reason, unknown
+// check name) as `directive` diagnostics. known is the full check
+// registry — validation is against everything registered, not just the
+// checks selected for this run.
+func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (dirs []*allowDirective, bad []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				d, err := parseDirective(rest, known)
+				if err != nil {
+					bad = append(bad, Diagnostic{
+						Check:    "directive",
+						Position: pos,
+						Message:  err.Error(),
+					})
+					continue
+				}
+				d.pos = pos
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// parseDirective parses the text after "skiplint:allow": a
+// comma-separated check list, an optional "—"/"--"/"-" separator, and
+// a mandatory reason.
+func parseDirective(rest string, known map[string]bool) (*allowDirective, error) {
+	if rest == "" {
+		return nil, fmt.Errorf("malformed %s directive: missing check name and reason", directivePrefix)
+	}
+	fields := strings.Fields(rest)
+	checks := strings.Split(fields[0], ",")
+	for _, c := range checks {
+		if !known[c] {
+			return nil, fmt.Errorf("malformed %s directive: unknown check %q (known: %s)",
+				directivePrefix, c, strings.Join(checkNames(), ", "))
+		}
+	}
+	reason := strings.TrimSpace(rest[len(fields[0]):])
+	for _, sep := range []string{"—", "--", "-"} {
+		if strings.HasPrefix(reason, sep) {
+			reason = strings.TrimSpace(strings.TrimPrefix(reason, sep))
+			break
+		}
+	}
+	if reason == "" {
+		return nil, fmt.Errorf("malformed %s directive: a reason is required (//%s %s — why this exception is sound)",
+			directivePrefix, directivePrefix, fields[0])
+	}
+	return &allowDirective{checks: checks, reason: reason}, nil
+}
+
+// covers reports whether the directive suppresses a diagnostic from
+// check at pos: same file, same or immediately following line.
+func (d *allowDirective) covers(check string, pos token.Position) bool {
+	if d.pos.Filename != pos.Filename {
+		return false
+	}
+	if d.pos.Line != pos.Line && d.pos.Line != pos.Line-1 {
+		return false
+	}
+	for _, c := range d.checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the selected analyzers over each loaded package (scope
+// permitting — see Scopes), applies allow directives, and returns the
+// surviving diagnostics sorted by position. Malformed directives are
+// reported alongside; directives that suppressed nothing are reported
+// too, so stale waivers can't linger after the code they excused is
+// gone.
+func Run(pkgs []*Package, analyzers []*Analyzer, scopes map[string][]string) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if !InScope(scopes[a.Name], pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+		dirs, bad := parseDirectives(pkg.Fset, pkg.Files, known)
+		out = append(out, bad...)
+		for _, d := range raw {
+			suppressed := false
+			for _, dir := range dirs {
+				if dir.covers(d.Check, d.Position) {
+					dir.used = true
+					suppressed = true
+				}
+			}
+			if !suppressed {
+				out = append(out, d)
+			}
+		}
+		// A directive may cover a check this run didn't select; only
+		// call it stale when every check it names actually ran.
+		for _, dir := range dirs {
+			if dir.used || !allSelected(dir.checks, analyzers) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Check:    "directive",
+				Position: dir.pos,
+				Message: fmt.Sprintf("stale %s directive: no %s diagnostic on this or the next line — remove it or move it to the code it excuses",
+					directivePrefix, strings.Join(dir.checks, "/")),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Check < b.Check
+	})
+	return out, nil
+}
+
+func allSelected(checks []string, analyzers []*Analyzer) bool {
+	for _, c := range checks {
+		found := false
+		for _, a := range analyzers {
+			if a.Name == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatOrder flags float compound accumulation (`+=`, `-=`, `*=`,
+// `/=`) inside the body of a map range when the accumulator outlives
+// the loop. Float addition is not associative: summing the same values
+// in a different order changes the rounding, so a map-ordered float
+// sum is bit-nondeterministic even though it is "the same math". This
+// is the composite failure — maprange supplies the random order,
+// the float accumulator turns it into a different published number.
+//
+// Accumulators declared inside the loop body are fine (they cannot
+// carry state across iterations); so is integer accumulation, which
+// commutes exactly. The fix is the running-sum idiom: extract the
+// keys, sort them, and accumulate in sorted order.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc: "float `+=` accumulation inside a map-range body is order-dependent rounding; " +
+		"sort the keys first or keep the accumulator local to the body",
+	Run: runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) error {
+	// An accumulation nested under several map ranges would be flagged
+	// once per enclosing loop; dedupe by position.
+	seen := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.Info, rs) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				a, ok := m.(*ast.AssignStmt)
+				if !ok || seen[a.Pos()] {
+					return true
+				}
+				switch a.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				default:
+					return true
+				}
+				if len(a.Lhs) != 1 {
+					return true
+				}
+				t := pass.Info.TypeOf(a.Lhs[0])
+				if t == nil || !isFloatType(t) {
+					return true
+				}
+				obj := rootObject(pass.Info, a.Lhs[0])
+				if obj != nil && declaredWithin(obj, rs.Body) {
+					return true // iteration-local accumulator
+				}
+				seen[a.Pos()] = true
+				pass.Reportf(a.Pos(),
+					"float accumulation (%s) inside a map-range body follows randomized iteration order; "+
+						"sort the keys first or keep the accumulator local",
+					a.Tok)
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandOK are the package-level math/rand functions that do not
+// touch the process-global source: constructors for explicit, seedable
+// generators (NewZipf takes the *rand.Rand it uses as an argument).
+var globalRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// GlobalRand rejects package-level math/rand (and math/rand/v2) calls.
+// The global source is shared process state: any draw from it is
+// ordered by whatever else ran first, so two structurally identical
+// runs diverge. Every random stream in the simulator must be a seeded
+// *rand.Rand threaded down from a config — methods on an explicit
+// generator are always fine.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "package-level math/rand functions (rand.Intn, rand.Float64, ...) draw from the shared global source; " +
+		"use a seeded *rand.Rand threaded from the config",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if !globalRandOK[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"package-level rand.%s draws from the unseeded process-global source; use a seeded *rand.Rand threaded from the config",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import "go/ast"
+
+// Goroutine rejects go statements. The simulator is single-threaded
+// by design — one event at a time off one calendar — and every
+// deterministic parallel path so far (the sweep worker pool in
+// internal/spec/sweep.go) earned its place by proving bit-identical
+// output at any worker count. A new go statement is a design decision,
+// not an optimization, so each one must carry an explicit allow
+// directive naming why its results are order-independent.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc: "go statements are banned outside explicitly allow-listed worker pools; " +
+		"every parallel path must prove bit-identical output before earning its directive",
+	Run: runGoroutine,
+}
+
+func runGoroutine(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"go statement outside an approved worker pool; prove the results are order-independent, then allow-list it")
+			}
+			return true
+		})
+	}
+	return nil
+}

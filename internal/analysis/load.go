@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked, non-test package ready for
+// analysis. Test files are excluded on purpose: the contract governs
+// simulation code; tests may use wall clocks and ad-hoc randomness
+// freely.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// Path is the import path (module path + relative directory),
+	// the unit Scopes patterns match against.
+	Path string
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, comments included.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages with a shared FileSet and a
+// shared go/importer source importer, so one run type-checks each
+// dependency once no matter how many roots import it.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// ModuleRoot walks upward from dir to the enclosing go.mod, returning
+// the module root directory and module path.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ExpandPatterns resolves skiplint's package arguments — "./...",
+// "dir/...", or plain directories, relative to cwd — into the list of
+// package directories to analyze. Recursive patterns follow the go
+// tool's conventions: directories named "testdata", hidden directories,
+// and "_"-prefixed directories are skipped, as are directories with no
+// non-test Go files. A directory named explicitly (no "...") is always
+// accepted, which is how the CI smoke points the linter at a bad
+// fixture inside testdata.
+func ExpandPatterns(cwd string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := pat, false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base, recursive = rest, true
+		} else if pat == "..." {
+			base, recursive = ".", true
+		}
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, base)
+		}
+		fi, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("pattern %q: not a directory", pat)
+		}
+		if !recursive {
+			if !hasGoFiles(base) {
+				return nil, fmt.Errorf("pattern %q: no non-test Go files in %s", pat, base)
+			}
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// Load parses and type-checks the package in dir under the given
+// import path. Parse or type errors are fatal: the linter only makes
+// claims about code the compiler would accept.
+func (l *Loader) Load(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no non-test Go files", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{Dir: dir, Path: importPath, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadPatterns expands patterns relative to cwd and loads every
+// matched directory as a package, deriving import paths from the
+// enclosing module.
+func (l *Loader) LoadPatterns(cwd string, patterns []string) ([]*Package, error) {
+	root, modPath, err := ModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := ExpandPatterns(cwd, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s: outside module %s", dir, modPath)
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange rejects order-sensitive `for range` over maps in the
+// report/stats/event-emitting packages. Go randomizes map iteration
+// order per run on purpose; any output assembled in that order
+// (appending to a slice, emitting events, accumulating floats) differs
+// between bit-identical reruns. This is exactly the bug class the
+// telemetry aggregator dodged by hand with running sums.
+//
+// Two shapes are recognized as order-insensitive and pass without a
+// directive:
+//
+//   - commutative bodies: exact-integer accumulation (n++, total += v
+//     on integer types), stores into another map keyed by the range
+//     key, delete calls, and call-free locals/conditionals composed
+//     from those — each iteration's effect is independent of order;
+//   - collect-then-sort: a body that only appends the key (or value)
+//     to a slice, where the statement immediately following the loop
+//     sorts that slice (sort.Strings/Ints/Slice/..., slices.Sort*).
+//
+// Anything else needs either a rewrite (sort the keys first) or an
+// allow directive arguing why order cannot reach an observable result.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "`for range` over a map in report/stats/event-emitting packages must be order-insensitive " +
+		"(commutative body, or collect-then-sort); map iteration order is randomized per run",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	c := &mapRangeChecker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch v := n.(type) {
+			case *ast.BlockStmt:
+				list = v.List
+			case *ast.CaseClause:
+				list = v.Body
+			case *ast.CommClause:
+				list = v.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				if lab, ok := stmt.(*ast.LabeledStmt); ok {
+					stmt = lab.Stmt
+				}
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass.Info, rs) {
+					continue
+				}
+				if c.insensitiveStmts(rs.Body.List, rs) {
+					continue
+				}
+				if c.collectThenSorted(rs, list, i) {
+					continue
+				}
+				pass.Reportf(rs.Pos(),
+					"order-sensitive range over map (%s); map iteration order is randomized per run — sort the keys first or make the body commutative",
+					pass.Info.TypeOf(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type mapRangeChecker struct {
+	pass *Pass
+}
+
+// insensitiveStmts reports whether every statement's effect is
+// independent of the iteration order of rs.
+func (c *mapRangeChecker) insensitiveStmts(stmts []ast.Stmt, rs *ast.RangeStmt) bool {
+	for _, s := range stmts {
+		if !c.insensitiveStmt(s, rs) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *mapRangeChecker) insensitiveStmt(s ast.Stmt, rs *ast.RangeStmt) bool {
+	info := c.pass.Info
+	switch v := s.(type) {
+	case *ast.IncDecStmt:
+		// n++ / n-- on exact integers commutes.
+		return isIntegerType(info.TypeOf(v.X))
+	case *ast.AssignStmt:
+		return c.insensitiveAssign(v, rs)
+	case *ast.ExprStmt:
+		// delete(m, k) commutes (distinct keys per iteration).
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if v.Init != nil && !c.insensitiveStmt(v.Init, rs) {
+			return false
+		}
+		if !callFree(info, v.Cond) {
+			return false
+		}
+		if !c.insensitiveStmts(v.Body.List, rs) {
+			return false
+		}
+		if v.Else != nil {
+			return c.insensitiveStmt(v.Else, rs)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.insensitiveStmts(v.List, rs)
+	case *ast.BranchStmt:
+		// continue skips one order-independent iteration; break makes
+		// "which iterations ran" order-dependent.
+		return v.Tok == token.CONTINUE
+	case *ast.DeclStmt:
+		gd, ok := v.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, val := range vs.Values {
+				if !callFree(info, val) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.RangeStmt:
+		// A nested range inherits the outer order question; its own
+		// body must satisfy the same rules.
+		return callFree(info, v.X) && c.insensitiveStmts(v.Body.List, rs)
+	case *ast.ForStmt:
+		if v.Init != nil && !c.insensitiveStmt(v.Init, rs) {
+			return false
+		}
+		if !callFree(info, v.Cond) {
+			return false
+		}
+		if v.Post != nil && !c.insensitiveStmt(v.Post, rs) {
+			return false
+		}
+		return c.insensitiveStmts(v.Body.List, rs)
+	default:
+		return false
+	}
+}
+
+// insensitiveAssign classifies one assignment inside the body of rs.
+func (c *mapRangeChecker) insensitiveAssign(a *ast.AssignStmt, rs *ast.RangeStmt) bool {
+	info := c.pass.Info
+	switch a.Tok {
+	case token.DEFINE:
+		// New locals die with the iteration; only their initializers
+		// must be pure.
+		for _, rhs := range a.Rhs {
+			if !callFree(info, rhs) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		// Exact-integer accumulation commutes; float accumulation
+		// does not (rounding is order-dependent — see floatorder).
+		return len(a.Lhs) == 1 && isIntegerType(info.TypeOf(a.Lhs[0])) && callFree(info, a.Rhs[0])
+	case token.ASSIGN:
+		if len(a.Lhs) != 1 || !callFree(info, a.Rhs[0]) {
+			return false
+		}
+		lhs := unparen(a.Lhs[0])
+		// Writes to state local to the body are invisible outside one
+		// iteration.
+		if obj := rootObject(info, lhs); declaredWithin(obj, rs.Body) {
+			return true
+		}
+		// m2[k] = v keyed by the range key touches each slot exactly
+		// once, so last-writer-wins never races across iterations.
+		idx, ok := lhs.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		if t := info.TypeOf(idx.X); t == nil {
+			return false
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return false
+		}
+		keyIdent, ok := unparen(idx.Index).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		rangeKey, ok := rs.Key.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return info.Uses[keyIdent] != nil && info.Uses[keyIdent] == info.Defs[rangeKey]
+	default:
+		return false
+	}
+}
+
+// collectThenSorted recognizes the canonical deterministic idiom:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//
+// rs is list[i]; the loop body must be a single self-append of the
+// range key or value, and list[i+1] must sort the same slice via the
+// sort or slices package.
+func (c *mapRangeChecker) collectThenSorted(rs *ast.RangeStmt, list []ast.Stmt, i int) bool {
+	info := c.pass.Info
+	if len(rs.Body.List) != 1 || i+1 >= len(list) {
+		return false
+	}
+	a, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || a.Tok != token.ASSIGN || len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+		return false
+	}
+	target, ok := unparen(a.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := unparen(a.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	first, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok || info.Uses[first] != info.Uses[target] || info.Uses[target] == nil {
+		return false
+	}
+	// The appended element must be the range key or value itself, so
+	// the slice is a permutation of the map's keys/values regardless
+	// of order.
+	elem, ok := unparen(call.Args[1]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	elemObj := info.Uses[elem]
+	if elemObj == nil || !(matchesRangeVar(info, elemObj, rs.Key) || matchesRangeVar(info, elemObj, rs.Value)) {
+		return false
+	}
+	// Next statement: a sort of the same slice.
+	next := list[i+1]
+	es, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	sortCall, ok := es.X.(*ast.CallExpr)
+	if !ok || len(sortCall.Args) == 0 {
+		return false
+	}
+	sel, ok := unparen(sortCall.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	sfn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || sfn.Pkg() == nil {
+		return false
+	}
+	if p := sfn.Pkg().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	arg, ok := unparen(sortCall.Args[0]).(*ast.Ident)
+	return ok && info.Uses[arg] == info.Uses[target]
+}
+
+func matchesRangeVar(info *types.Info, obj types.Object, rangeVar ast.Expr) bool {
+	id, ok := rangeVar.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.Defs[id] != nil && info.Defs[id] == obj
+}

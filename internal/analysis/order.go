@@ -1,0 +1,110 @@
+package analysis
+
+// Shared helpers for the two map-iteration-order checks (maprange,
+// floatorder): map-range detection, side-effect-free expression
+// classification, and lvalue root resolution.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isMapRange reports whether rs ranges over a map.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// callFree reports whether the expression contains no function calls
+// other than pure builtins (len, cap, min, max) and type conversions.
+// Any other call could observe or mutate state in map-iteration order.
+func callFree(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "min", "max":
+					return true
+				}
+			}
+		}
+		free = false
+		return false
+	})
+	return free
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// rootObject resolves the variable at the base of an lvalue —
+// x, x.f, x[i], (*x).f all root at x — so the order checks can ask
+// where the mutated state was declared. Returns nil when no single
+// root identifier exists.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			if _, ok := info.Selections[v]; ok {
+				e = v.X // field access roots at the receiver
+				continue
+			}
+			// Package-qualified name: the object is the root.
+			return info.Uses[v.Sel]
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// node span [pos, end]. Mutating state declared inside the loop body
+// is invisible outside one iteration and therefore order-independent.
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && n.Pos() <= obj.Pos() && obj.Pos() <= n.End()
+}
+
+// isIntegerType reports whether t is an integer kind (signed or
+// unsigned); integer accumulation is exactly commutative, float
+// accumulation is not.
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isFloatType reports whether t is a float or complex kind.
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises directive validation: a directive with no
+// check or reason, a directive missing its reason, a directive naming
+// an unknown check, and a well-formed directive that suppresses
+// nothing (stale). Expectations live in the analyzer test, not in want
+// comments, because directive diagnostics point at the comments
+// themselves.
+package fixture
+
+//skiplint:allow
+
+//skiplint:allow walltime
+
+//skiplint:allow nosuchcheck — believed fine
+
+//skiplint:allow walltime — stale: nothing on this or the next line to suppress
+
+func nothing() {}

@@ -1,0 +1,54 @@
+// Package fixture exercises the floatorder check: float accumulation
+// into state that outlives a map-range body is flagged, iteration-local
+// and integer accumulators pass, and an allow directive with a reason
+// suppresses a finding.
+package fixture
+
+type totals struct{ Total float64 }
+
+func badSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation`
+	}
+	return sum
+}
+
+func badNestedField(m map[string][]float64, out *totals) {
+	for _, vs := range m {
+		for _, v := range vs {
+			out.Total += v // want `float accumulation`
+		}
+	}
+}
+
+func goodLocal(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v // accumulator is local to the map-range body: order never escapes
+		}
+		if s > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func goodInt(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // exact-integer accumulation commutes
+	}
+	return total
+}
+
+func allowed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//skiplint:allow floatorder — fixture: values are exact powers of two, so addition is exact in any order
+		sum += v
+	}
+	return sum
+}

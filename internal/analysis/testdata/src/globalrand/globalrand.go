@@ -1,0 +1,27 @@
+// Package fixture exercises the globalrand check: package-level
+// math/rand calls are flagged, seeded *rand.Rand generators are not,
+// and an allow directive with a reason suppresses a finding.
+package fixture
+
+import "math/rand"
+
+func bad() float64 {
+	n := rand.Intn(10)                 // want `package-level rand\.Intn`
+	return float64(n) + rand.Float64() // want `package-level rand\.Float64`
+}
+
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func goodZipf(rng *rand.Rand) *rand.Zipf {
+	// Constructors for explicit generators never touch the global
+	// source; NewZipf draws from the *rand.Rand it is handed.
+	return rand.NewZipf(rng, 1.1, 1, 100)
+}
+
+func allowed() float64 {
+	//skiplint:allow globalrand — fixture: demonstration of a reviewed waiver
+	return rand.ExpFloat64()
+}

@@ -1,0 +1,24 @@
+// Package fixture exercises the goroutine check: every go statement
+// is flagged unless it carries an allow directive with a reason.
+package fixture
+
+func work() {}
+
+func bad() {
+	go work() // want `go statement outside an approved worker pool`
+}
+
+func alsoBad(ch chan int) {
+	go func() { // want `go statement outside an approved worker pool`
+		ch <- 1
+	}()
+}
+
+func good() {
+	work() // synchronous call: fine
+}
+
+func allowed() {
+	//skiplint:allow goroutine — fixture: bounded worker pool with index-ordered reassembly, bit-identical to serial
+	go work()
+}

@@ -1,0 +1,75 @@
+// Package fixture exercises the maprange check: order-sensitive map
+// iteration is flagged, the commutative and collect-then-sort shapes
+// pass, and an allow directive with a reason suppresses a finding.
+package fixture
+
+import "sort"
+
+func process(string) {}
+
+func badAppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `order-sensitive range over map`
+		keys = append(keys, k)
+	}
+	return keys // never sorted: map insertion order leaks out
+}
+
+func badCall(m map[string]int) {
+	for k := range m { // want `order-sensitive range over map`
+		process(k)
+	}
+}
+
+func badBreak(m map[string]int) string {
+	found := ""
+	for k := range m { // want `order-sensitive range over map`
+		if k != "" {
+			found = k
+			break
+		}
+	}
+	return found
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodCommutative(m map[string]int64) (int64, int) {
+	var total int64
+	count := 0
+	for _, v := range m {
+		total += v
+		count++
+	}
+	return total, count
+}
+
+func goodKeyedStore(m map[string]int) map[string]int {
+	doubled := make(map[string]int, len(m))
+	for k, v := range m {
+		doubled[k] = v * 2
+	}
+	return doubled
+}
+
+func goodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func allowed(m map[string]int) {
+	//skiplint:allow maprange — fixture: side effects proven order-independent by construction
+	for k := range m {
+		process(k)
+	}
+}

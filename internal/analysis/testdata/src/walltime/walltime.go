@@ -1,0 +1,28 @@
+// Package fixture exercises the walltime check: wall-clock reads are
+// flagged, duration arithmetic is not, and an allow directive with a
+// reason suppresses a finding.
+package fixture
+
+import "time"
+
+var epoch time.Time
+
+func bad() time.Duration {
+	start := time.Now()              // want `wall-clock call time\.Now`
+	time.Sleep(5 * time.Millisecond) // want `wall-clock call time\.Sleep`
+	<-time.After(time.Second)        // want `wall-clock call time\.After`
+	return time.Since(start)         // want `wall-clock call time\.Since`
+}
+
+func good(d time.Duration) time.Duration {
+	// Types, constants, and arithmetic on time values are fine; the
+	// contract bans reading the host clock, not describing durations.
+	deadline := epoch.Add(d)
+	_ = deadline.Unix()
+	return 2 * time.Millisecond
+}
+
+func allowed() time.Time {
+	//skiplint:allow walltime — fixture: sanctioned profiling envelope measuring the tool itself, not the simulation
+	return time.Now()
+}

@@ -120,7 +120,14 @@ func (r *DecisionRecorder) statelessPick(p Policy, req serve.Request, instances 
 // is zero except for disaggregated decode picks.
 func (r *DecisionRecorder) Record(now sim.Time, req serve.Request, instances []*serve.Instance, chosen int, requeue bool, linkWait sim.Time) {
 	r.picks++
-	for p, st := range r.counter {
+	// Iterate the fixed policy list, not the counter map: the stats are
+	// per-policy independent, but replaying in map order would still
+	// interleave statelessPick calls nondeterministically.
+	for _, p := range counterfactualPolicies {
+		st, ok := r.counter[p]
+		if !ok {
+			continue
+		}
 		st.Picks++
 		if r.statelessPick(p, req, instances) == chosen {
 			st.Agreed++

@@ -331,7 +331,13 @@ func (a *Aggregator) Finish(horizon sim.Time) *Timeline {
 	a.fleet.kv.advance(horizon, interval)
 	a.active.advance(horizon, interval)
 	a.transfers.advance(horizon, interval)
-	for _, s := range a.instances {
+	names := make([]string, 0, len(a.instances))
+	for name := range a.instances {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := a.instances[name]
 		s.queue.advance(horizon, interval)
 		s.kv.advance(horizon, interval)
 	}
@@ -342,11 +348,6 @@ func (a *Aggregator) Finish(horizon sim.Time) *Timeline {
 	}
 	tl.Fleet = a.fleetSeries(n, horizon)
 	if a.cfg.PerInstance {
-		names := make([]string, 0, len(a.instances))
-		for name := range a.instances {
-			names = append(names, name)
-		}
-		sort.Strings(names)
 		for _, name := range names {
 			tl.Instances = append(tl.Instances, InstanceSeries{
 				Instance: name,

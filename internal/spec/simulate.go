@@ -212,6 +212,7 @@ func Simulate(s *Spec, opts ...Option) (*Report, error) {
 	var start time.Time
 	if o.profile {
 		runtime.ReadMemStats(&before)
+		//skiplint:allow walltime — WithProfile measures the simulator itself (real wall time around the run), not simulated time
 		start = time.Now()
 	}
 	var rep *Report
@@ -232,6 +233,7 @@ func Simulate(s *Spec, opts ...Option) (*Report, error) {
 		return nil, err
 	}
 	if o.profile {
+		//skiplint:allow walltime — closes the WithProfile wall-clock envelope opened above; profiling-only, never feeds sim results
 		wall := time.Since(start)
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)

@@ -353,6 +353,7 @@ func (s *Spec) simulateSweep(o *options) (*Report, error) {
 		sem := make(chan struct{}, workers)
 		for i := range pts {
 			wg.Add(1)
+			//skiplint:allow goroutine — the sweep worker pool: each point simulates an independent spec clone and lands in its own slot; reassembly is by index, proven bit-identical to serial at any worker count
 			go func(i int) {
 				defer wg.Done()
 				sem <- struct{}{}
